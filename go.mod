@@ -1,0 +1,3 @@
+module memsnap
+
+go 1.22

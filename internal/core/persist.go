@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"memsnap/internal/objstore"
+	"memsnap/internal/sim"
+	"memsnap/internal/vm"
+)
+
+// Context is one application thread using MemSnap: it wraps a
+// simulated vm thread and tracks outstanding asynchronous
+// uCheckpoints.
+type Context struct {
+	proc *Process
+	th   *vm.Thread
+
+	pending []pendingCheckpoint
+
+	// LastBreakdown records the phase timing of the most recent
+	// Persist call (Tables 5 and 10).
+	LastBreakdown PersistBreakdown
+
+	// Persists counts Persist calls; PersistLatency records their
+	// caller-visible latency (sync: to durability; async: to return).
+	Persists       int64
+	PersistLatency *sim.LatencyRecorder
+}
+
+type pendingCheckpoint struct {
+	region  *Region
+	epoch   objstore.Epoch
+	done    time.Duration
+	release func()
+}
+
+// PersistBreakdown is the cost split of one Persist call.
+type PersistBreakdown struct {
+	// ResetTracking covers protection reset plus TLB invalidation
+	// ("Resetting Tracking" / "Applying COW").
+	ResetTracking time.Duration
+	// InitiateWrites covers building and submitting the
+	// scatter/gather IO.
+	InitiateWrites time.Duration
+	// WaitIO is the time to durability after submission (zero for
+	// async callers until Wait).
+	WaitIO time.Duration
+	// Total is the caller-visible latency.
+	Total time.Duration
+	// Pages is the uCheckpoint size in pages.
+	Pages int
+}
+
+// NewContext registers a new thread in the process, running on the
+// given CPU.
+func (p *Process) NewContext(cpu int) *Context {
+	return &Context{
+		proc:           p,
+		th:             p.as.NewThread(nil, cpu),
+		PersistLatency: sim.NewLatencyRecorder(),
+	}
+}
+
+// Thread exposes the vm thread (for direct memory access).
+func (ctx *Context) Thread() *vm.Thread { return ctx.th }
+
+// Clock returns the context's virtual clock.
+func (ctx *Context) Clock() *sim.Clock { return ctx.th.Clock() }
+
+// Write stores data at a virtual address through the fault machinery.
+func (ctx *Context) Write(addr uint64, data []byte) { ctx.th.Write(addr, data) }
+
+// Read loads bytes from a virtual address.
+func (ctx *Context) Read(addr uint64, buf []byte) { ctx.th.Read(addr, buf) }
+
+// WriteAt stores data at an offset within a region.
+func (ctx *Context) WriteAt(r *Region, off int64, data []byte) {
+	ctx.th.Write(r.addr+uint64(off), data)
+}
+
+// ReadAt loads bytes from an offset within a region.
+func (ctx *Context) ReadAt(r *Region, off int64, buf []byte) {
+	ctx.th.Read(r.addr+uint64(off), buf)
+}
+
+// PageForWrite returns the live page slice for in-place mutation at a
+// region offset, running the tracking fault machinery.
+func (ctx *Context) PageForWrite(r *Region, off int64) []byte {
+	return ctx.th.PageForWrite(r.addr + uint64(off))
+}
+
+// PageForRead returns the page slice for reading at a region offset.
+func (ctx *Context) PageForRead(r *Region, off int64) []byte {
+	return ctx.th.PageForRead(r.addr + uint64(off))
+}
+
+// DirtyPages returns the size of the calling thread's dirty set.
+func (ctx *Context) DirtyPages() int { return ctx.th.DirtyLen() }
+
+// Persist atomically persists the dirty set as a uCheckpoint.
+//
+// r selects the region whose pages are persisted; nil persists
+// modifications across all regions (the paper's descriptor of -1).
+// By default only the calling thread's dirty set is persisted;
+// MSGlobal includes every thread's. MSSync (default) blocks until the
+// data is durable; MSAsync returns after initiating the IO and the
+// caller uses Wait.
+//
+// The returned epoch identifies the uCheckpoint for Wait. When r is
+// nil and several regions were dirty, the epoch of the last committed
+// region is returned and Wait(nil, epoch) waits for all of them.
+func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
+	if flags&MSSync != 0 && flags&MSAsync != 0 {
+		return 0, fmt.Errorf("core: MSSync and MSAsync are mutually exclusive")
+	}
+	clk := ctx.th.Clock()
+	start := clk.Now()
+	proc := ctx.proc
+	as := proc.as
+	costs := proc.sys.costs
+
+	clk.Advance(costs.SyscallEntry + costs.PersistFixed)
+	ctx.sweepCompleted()
+
+	var m *vm.Mapping
+	if r != nil {
+		m = r.mapping
+	}
+
+	// Gather the dirty set: the caller's, or everyone's with
+	// MSGlobal.
+	var records []vm.DirtyRecord
+	if flags&MSGlobal != 0 {
+		for _, th := range as.Threads() {
+			records = append(records, th.TakeDirty(m)...)
+		}
+	} else {
+		records = ctx.th.TakeDirty(m)
+	}
+	if len(records) == 0 {
+		ctx.Persists++
+		lat := clk.Now() - start
+		ctx.PersistLatency.Record(lat)
+		ctx.LastBreakdown = PersistBreakdown{Total: lat}
+		return 0, nil
+	}
+	sortRecordsByAddr(records)
+
+	// Phase 1 — reset tracking: mark pages checkpoint-in-progress,
+	// write-protect them through the trace buffer, shoot down stale
+	// TLB entries.
+	resetStart := clk.Now()
+	release := as.MarkCheckpointInProgress(records)
+	vpns := as.ResetProtectionsTrace(clk, records)
+	proc.sys.tlbs.Invalidate(clk, vpns)
+	resetDur := clk.Now() - resetStart
+
+	// Phase 2 — initiate writes: snapshot page contents (aliases,
+	// protected by the unified COW) and build per-region block lists.
+	initStart := clk.Now()
+	snaps := as.SnapshotPages(records)
+	clk.Advance(costs.PersistInitiateIO + costs.PersistPerPage*time.Duration(len(records)))
+
+	type regionWrites struct {
+		region *Region
+		blocks []objstore.BlockWrite
+	}
+	byRegion := make(map[*vm.Mapping]*regionWrites)
+	var order []*regionWrites
+	for i, rec := range records {
+		rw := byRegion[rec.Mapping]
+		if rw == nil {
+			reg := proc.regionByMapping(rec.Mapping)
+			if reg == nil {
+				return 0, fmt.Errorf("core: dirty page in non-region mapping %q", rec.Mapping.Name)
+			}
+			rw = &regionWrites{region: reg}
+			byRegion[rec.Mapping] = rw
+			order = append(order, rw)
+		}
+		rw.blocks = append(rw.blocks, objstore.BlockWrite{
+			Index: int64((rec.Addr - rec.Mapping.Start) / PageSize),
+			Data:  snaps[i],
+		})
+	}
+	initDur := clk.Now() - initStart
+
+	// Phase 3 — commit each region's uCheckpoint. Different regions
+	// commit independently (per-object epochs).
+	submitAt := clk.Now()
+	var lastEpoch objstore.Epoch
+	var lastDone time.Duration
+	type committed struct {
+		region *Region
+		epoch  objstore.Epoch
+		done   time.Duration
+	}
+	var commits []committed
+	for _, rw := range order {
+		epoch, done, err := rw.region.obj.Commit(submitAt, rw.blocks)
+		if err != nil {
+			release()
+			return 0, err
+		}
+		lastEpoch = epoch
+		if done > lastDone {
+			lastDone = done
+		}
+		commits = append(commits, committed{region: rw.region, epoch: epoch, done: done})
+	}
+	// The in-progress flags cover pages across all committed regions,
+	// so attach the release to the checkpoint that completes last.
+	for _, c := range commits {
+		rel := func() {}
+		if c.done == lastDone {
+			rel = release
+			lastDone = -1 // attach exactly once
+		}
+		ctx.pending = append(ctx.pending, pendingCheckpoint{
+			region:  c.region,
+			epoch:   c.epoch,
+			done:    c.done,
+			release: rel,
+		})
+	}
+	lastDone = 0
+	for _, c := range commits {
+		if c.done > lastDone {
+			lastDone = c.done
+		}
+	}
+
+	ctx.Persists++
+	breakdown := PersistBreakdown{
+		ResetTracking:  resetDur,
+		InitiateWrites: initDur,
+		Pages:          len(records),
+	}
+
+	if flags&MSAsync != 0 {
+		breakdown.Total = clk.Now() - start
+		ctx.LastBreakdown = breakdown
+		ctx.PersistLatency.Record(breakdown.Total)
+		return lastEpoch, nil
+	}
+
+	// Synchronous: wait for durability and release the in-progress
+	// flags.
+	clk.AdvanceTo(lastDone)
+	breakdown.WaitIO = clk.Now() - submitAt
+	breakdown.Total = clk.Now() - start
+	ctx.LastBreakdown = breakdown
+	ctx.PersistLatency.Record(breakdown.Total)
+	ctx.sweepCompleted()
+	return lastEpoch, nil
+}
+
+// regionByMapping resolves a mapping back to its region.
+func (p *Process) regionByMapping(m *vm.Mapping) *Region {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.regions {
+		if r.mapping == m {
+			return r
+		}
+	}
+	return nil
+}
+
+// sweepCompleted releases checkpoint-in-progress flags for pending
+// checkpoints that are durable by now.
+func (ctx *Context) sweepCompleted() {
+	now := ctx.th.Clock().Now()
+	kept := ctx.pending[:0]
+	for _, pc := range ctx.pending {
+		if pc.done <= now {
+			pc.release()
+		} else {
+			kept = append(kept, pc)
+		}
+	}
+	ctx.pending = kept
+}
+
+// Wait blocks the context until the given epoch of region r is
+// durable (r nil: until every outstanding checkpoint up to the call
+// is durable).
+func (ctx *Context) Wait(r *Region, epoch objstore.Epoch) {
+	clk := ctx.th.Clock()
+	clk.Advance(ctx.proc.sys.costs.SyscallEntry)
+	kept := ctx.pending[:0]
+	for _, pc := range ctx.pending {
+		match := r == nil || (pc.region == r && pc.epoch <= epoch)
+		if match {
+			clk.AdvanceTo(pc.done)
+			pc.release()
+		} else {
+			kept = append(kept, pc)
+		}
+	}
+	ctx.pending = kept
+}
+
+// OutstandingCheckpoints reports how many async uCheckpoints have not
+// been waited for.
+func (ctx *Context) OutstandingCheckpoints() int { return len(ctx.pending) }

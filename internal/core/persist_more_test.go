@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"memsnap/internal/sim"
+)
+
+// TestAsyncOverlap verifies that two async uCheckpoints of different
+// regions overlap on the device instead of serializing.
+func TestAsyncOverlap(t *testing.T) {
+	sys := newSys(t)
+	p := sys.NewProcess()
+	ctx := p.NewContext(0)
+	ra, _ := p.Open(ctx, "a", 1<<20)
+	rb, _ := p.Open(ctx, "b", 1<<20)
+
+	payload := bytes.Repeat([]byte{1}, 256<<10)
+	ctx.WriteAt(ra, 0, payload)
+	ctx.WriteAt(rb, 0, payload)
+
+	// Sequential sync persists.
+	start := ctx.Clock().Now()
+	ctx.Persist(ra, MSSync)
+	ctx.Persist(rb, MSSync)
+	serial := ctx.Clock().Now() - start
+
+	// Async both, then wait: the IOs share submission time.
+	ctx.WriteAt(ra, 0, payload)
+	ctx.WriteAt(rb, 0, payload)
+	start = ctx.Clock().Now()
+	ea, _ := ctx.Persist(ra, MSAsync)
+	eb, _ := ctx.Persist(rb, MSAsync)
+	ctx.Wait(ra, ea)
+	ctx.Wait(rb, eb)
+	overlapped := ctx.Clock().Now() - start
+
+	if overlapped >= serial {
+		t.Fatalf("async persists (%v) did not overlap vs serial (%v)", overlapped, serial)
+	}
+}
+
+// TestWaitIdempotent ensures double Wait and Wait-without-pending are
+// harmless.
+func TestWaitIdempotent(t *testing.T) {
+	sys := newSys(t)
+	p := sys.NewProcess()
+	ctx := p.NewContext(0)
+	r, _ := p.Open(ctx, "a", 1<<20)
+	ctx.WriteAt(r, 0, []byte{1})
+	epoch, _ := ctx.Persist(r, MSAsync)
+	ctx.Wait(r, epoch)
+	before := ctx.Clock().Now()
+	ctx.Wait(r, epoch)
+	ctx.Wait(nil, 0)
+	// Only syscall costs, no IO waits.
+	if ctx.Clock().Now()-before > 5*time.Microsecond {
+		t.Fatalf("idle Wait advanced %v", ctx.Clock().Now()-before)
+	}
+}
+
+// TestGlobalPersistFromEitherThread checks that MS_GLOBAL drains dirty
+// sets regardless of which thread calls it.
+func TestGlobalPersistFromEitherThread(t *testing.T) {
+	sys := newSys(t)
+	p := sys.NewProcess()
+	a := p.NewContext(0)
+	b := p.NewContext(1)
+	r, _ := p.Open(a, "x", 1<<20)
+	a.WriteAt(r, 0, []byte{1})
+	b.WriteAt(r, 8192, []byte{2})
+	if _, err := b.Persist(nil, MSSync|MSGlobal); err != nil {
+		t.Fatal(err)
+	}
+	if a.DirtyPages() != 0 || b.DirtyPages() != 0 {
+		t.Fatal("global persist from thread B left dirty pages")
+	}
+}
+
+// TestEpochMonotonicProperty: persists always return strictly
+// increasing epochs for a region.
+func TestEpochMonotonicProperty(t *testing.T) {
+	f := func(writes []uint8) bool {
+		if len(writes) == 0 {
+			return true
+		}
+		sys, err := NewSystem(Options{})
+		if err != nil {
+			return false
+		}
+		p := sys.NewProcess()
+		ctx := p.NewContext(0)
+		r, err := p.Open(ctx, "m", 1<<20)
+		if err != nil {
+			return false
+		}
+		var last uint64
+		for _, w := range writes {
+			ctx.WriteAt(r, int64(w%200)*PageSize, []byte{w})
+			epoch, err := ctx.Persist(r, MSSync)
+			if err != nil || uint64(epoch) <= last {
+				return false
+			}
+			last = uint64(epoch)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverWithManyRegions checks address stability with several
+// regions created in different orders.
+func TestRecoverWithManyRegions(t *testing.T) {
+	sys := newSys(t)
+	p := sys.NewProcess()
+	ctx := p.NewContext(0)
+	names := []string{"zeta", "alpha", "omega", "beta"}
+	addrs := map[string]uint64{}
+	for i, name := range names {
+		r, err := p.Open(ctx, name, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[name] = r.Addr()
+		ctx.WriteAt(r, 0, []byte{byte(i + 1)})
+		ctx.Persist(r, MSSync)
+	}
+
+	sys.Array().CutPower(ctx.Clock().Now(), sim.NewRNG(3))
+	sys2, at, err := Recover(Options{}, sys.Array(), ctx.Clock().Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := sys2.NewProcess()
+	ctx2 := p2.NewContext(0)
+	ctx2.Clock().AdvanceTo(at)
+	// Open in a different order: addresses must still match (they
+	// derive from stable directory positions).
+	for i := len(names) - 1; i >= 0; i-- {
+		r, err := p2.Open(ctx2, names[i], 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Addr() != addrs[names[i]] {
+			t.Fatalf("region %q moved: %#x -> %#x", names[i], addrs[names[i]], r.Addr())
+		}
+		buf := make([]byte, 1)
+		ctx2.ReadAt(r, 0, buf)
+		if buf[0] != byte(i+1) {
+			t.Fatalf("region %q content %d", names[i], buf[0])
+		}
+	}
+}
+
+// TestPersistLatencyScalesLinearly: the paper notes MemSnap cost is
+// "fixed per-4KiB-page across all transaction sizes".
+func TestPersistLatencyScalesLinearly(t *testing.T) {
+	sys := newSys(t)
+	p := sys.NewProcess()
+	ctx := p.NewContext(0)
+	r, _ := p.Open(ctx, "lin", 64<<20)
+
+	measure := func(pages int) time.Duration {
+		for i := 0; i < pages; i++ {
+			ctx.WriteAt(r, int64(i)*PageSize, []byte{1})
+		}
+		ctx.Persist(r, MSSync)
+		for i := 0; i < pages; i++ {
+			ctx.WriteAt(r, int64(i)*PageSize, []byte{2})
+		}
+		start := ctx.Clock().Now()
+		ctx.Persist(r, MSSync)
+		return ctx.Clock().Now() - start
+	}
+	l16 := measure(16)
+	l256 := measure(256)
+	ratio := float64(l256) / float64(l16)
+	if ratio < 4 || ratio > 20 {
+		t.Fatalf("16->256 pages scaled %.1fx (16p=%v 256p=%v), want roughly linear", ratio, l16, l256)
+	}
+}
+
+// TestCOWFaultChargesMoreThanTracking validates relative fault costs.
+func TestCOWFaultChargesMoreThanTracking(t *testing.T) {
+	sys := newSys(t)
+	p := sys.NewProcess()
+	ctx := p.NewContext(0)
+	r, _ := p.Open(ctx, "cow", 1<<20)
+	ctx.WriteAt(r, 0, []byte{1})
+
+	// Tracking fault cost (second page, clean).
+	before := ctx.Clock().Now()
+	ctx.WriteAt(r, PageSize, []byte{1})
+	tracking := ctx.Clock().Now() - before
+
+	// COW fault: write during in-flight checkpoint.
+	epoch, _ := ctx.Persist(r, MSAsync)
+	before = ctx.Clock().Now()
+	ctx.WriteAt(r, 0, []byte{2})
+	cow := ctx.Clock().Now() - before
+	ctx.Wait(r, epoch)
+
+	if cow <= tracking {
+		t.Fatalf("COW fault (%v) not costlier than tracking fault (%v)", cow, tracking)
+	}
+}

@@ -1,0 +1,191 @@
+package disk
+
+import (
+	"time"
+
+	"memsnap/internal/sim"
+)
+
+// Extent names one contiguous run of bytes on the array for vectored
+// IO.
+type Extent struct {
+	Offset int64
+	Data   []byte
+}
+
+// Array is a striped set of devices presenting one flat address
+// space — the paper's two Intel 900Ps striped in 64 KiB blocks.
+type Array struct {
+	costs   *sim.CostModel
+	devices []*Device
+	stripe  int64
+}
+
+// NewArray builds an array of n devices of capacityEach bytes striped
+// at the cost model's StripeSize.
+func NewArray(costs *sim.CostModel, n int, capacityEach int64) *Array {
+	if costs == nil {
+		costs = sim.DefaultCosts()
+	}
+	if n <= 0 {
+		n = 1
+	}
+	a := &Array{costs: costs, stripe: int64(costs.StripeSize)}
+	for i := 0; i < n; i++ {
+		a.devices = append(a.devices, NewDevice(costs, capacityEach))
+	}
+	return a
+}
+
+// Capacity returns the total array capacity in bytes.
+func (a *Array) Capacity() int64 {
+	return int64(len(a.devices)) * a.devices[0].Capacity()
+}
+
+// NumDevices returns the stripe width.
+func (a *Array) NumDevices() int { return len(a.devices) }
+
+// Write issues a contiguous write at virtual time at and returns the
+// completion time (the max across devices). Per-device pieces of one
+// logical IO are issued as a single command per device: the stripe
+// controller coalesces them, so each device pays one base latency.
+func (a *Array) Write(at time.Duration, offset int64, data []byte) time.Duration {
+	return a.WriteV(at, []Extent{{Offset: offset, Data: data}})
+}
+
+// WriteV issues a vectored write of several extents as one logical
+// operation (MemSnap's scatter/gather uCheckpoint IO). Bytes are
+// grouped per device; each device receives one command covering its
+// share, paying one base latency plus the transfer of its bytes. The
+// returned completion is the time the last device finishes.
+func (a *Array) WriteV(at time.Duration, extents []Extent) time.Duration {
+	type devIO struct {
+		segs []Extent
+		size int
+	}
+	perDev := make([]devIO, len(a.devices))
+	for _, e := range extents {
+		off := e.Offset
+		data := e.Data
+		for len(data) > 0 {
+			stripeIdx := off / a.stripe
+			within := off % a.stripe
+			take := int(a.stripe - within)
+			if take > len(data) {
+				take = len(data)
+			}
+			dev := int(stripeIdx % int64(len(a.devices)))
+			row := stripeIdx / int64(len(a.devices))
+			perDev[dev].segs = append(perDev[dev].segs, Extent{
+				Offset: row*a.stripe + within,
+				Data:   data[:take],
+			})
+			perDev[dev].size += take
+			off += int64(take)
+			data = data[take:]
+		}
+	}
+	var completion time.Duration
+	for i, io := range perDev {
+		if io.size == 0 {
+			continue
+		}
+		done := a.devices[i].submitWriteV(at, io.segs, io.size)
+		if done > completion {
+			completion = done
+		}
+	}
+	if completion == 0 {
+		completion = at
+	}
+	return completion
+}
+
+// submitWriteV applies several segments as one device command.
+func (d *Device) submitWriteV(at time.Duration, segs []Extent, total int) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start := at
+	if d.nextFree > start {
+		start = d.nextFree
+	}
+	completion := start + d.costs.DiskBaseLatency + d.costs.TransferCost(total)
+	d.nextFree = completion
+	for _, s := range segs {
+		d.checkRange(s.Offset, len(s.Data))
+		old := make([]byte, len(s.Data))
+		d.data.readAt(s.Offset, old)
+		d.inflight = append(d.inflight, inflightWrite{submit: at, completion: completion, offset: s.Offset, oldData: old})
+		d.data.writeAt(s.Offset, s.Data)
+		d.bytesWritten += int64(len(s.Data))
+	}
+	d.writes++
+	d.gcInflightLocked(at)
+	return completion
+}
+
+// Read issues a contiguous read and returns the completion time.
+func (a *Array) Read(at time.Duration, offset int64, buf []byte) time.Duration {
+	var completion time.Duration
+	off := offset
+	remaining := buf
+	for len(remaining) > 0 {
+		stripeIdx := off / a.stripe
+		within := off % a.stripe
+		take := int(a.stripe - within)
+		if take > len(remaining) {
+			take = len(remaining)
+		}
+		dev := int(stripeIdx % int64(len(a.devices)))
+		row := stripeIdx / int64(len(a.devices))
+		done := a.devices[dev].SubmitRead(at, row*a.stripe+within, remaining[:take])
+		if done > completion {
+			completion = done
+		}
+		off += int64(take)
+		remaining = remaining[take:]
+	}
+	if completion == 0 {
+		completion = at
+	}
+	return completion
+}
+
+// CutPower tears all devices' in-flight writes at virtual time at.
+func (a *Array) CutPower(at time.Duration, rng *sim.RNG) {
+	for _, d := range a.devices {
+		d.CutPower(at, rng)
+	}
+}
+
+// PeekAt reads array contents without cost, for tests and tooling.
+func (a *Array) PeekAt(offset int64, buf []byte) {
+	off := offset
+	remaining := buf
+	for len(remaining) > 0 {
+		stripeIdx := off / a.stripe
+		within := off % a.stripe
+		take := int(a.stripe - within)
+		if take > len(remaining) {
+			take = len(remaining)
+		}
+		dev := int(stripeIdx % int64(len(a.devices)))
+		row := stripeIdx / int64(len(a.devices))
+		a.devices[dev].PeekAt(row*a.stripe+within, remaining[:take])
+		off += int64(take)
+		remaining = remaining[take:]
+	}
+}
+
+// Stats sums the counters across all devices.
+func (a *Array) Stats() Stats {
+	var total Stats
+	for _, d := range a.devices {
+		s := d.Stats()
+		total.Writes += s.Writes
+		total.Reads += s.Reads
+		total.BytesWritten += s.BytesWritten
+		total.BytesRead += s.BytesRead
+	}
+	return total
+}

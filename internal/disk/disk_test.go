@@ -1,0 +1,215 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"memsnap/internal/sim"
+)
+
+func costs() *sim.CostModel { return sim.DefaultCosts() }
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := NewDevice(costs(), 1<<20)
+	data := []byte("persistent bytes")
+	d.SubmitWrite(0, 4096, data)
+	buf := make([]byte, len(data))
+	d.SubmitRead(time.Millisecond, 4096, buf)
+	if !bytes.Equal(buf, data) {
+		t.Fatalf("read back %q", buf)
+	}
+}
+
+func TestIOLatencyMatchesTable6DirectColumn(t *testing.T) {
+	m := costs()
+	d := NewDevice(m, 1<<30)
+	cases := []struct {
+		bytes  int
+		lo, hi time.Duration
+	}{
+		{4 << 10, 16 * time.Microsecond, 18 * time.Microsecond},
+		{64 << 10, 42 * time.Microsecond, 47 * time.Microsecond},
+	}
+	var at time.Duration
+	for _, tc := range cases {
+		buf := make([]byte, tc.bytes)
+		done := d.SubmitWrite(at, 0, buf)
+		lat := done - at
+		if lat < tc.lo || lat > tc.hi {
+			t.Errorf("%d B write latency %v, want [%v, %v]", tc.bytes, lat, tc.lo, tc.hi)
+		}
+		at = done
+	}
+}
+
+func TestQueueSerializes(t *testing.T) {
+	d := NewDevice(costs(), 1<<20)
+	buf := make([]byte, 4096)
+	c1 := d.SubmitWrite(0, 0, buf)
+	c2 := d.SubmitWrite(0, 4096, buf) // same submit time: must queue
+	if c2 <= c1 {
+		t.Fatalf("second IO (%v) did not queue behind first (%v)", c2, c1)
+	}
+	// An IO after the queue drains starts immediately.
+	c3 := d.SubmitWrite(c2+time.Millisecond, 8192, buf)
+	if got := c3 - (c2 + time.Millisecond); got != costs().IOCost(4096) {
+		t.Fatalf("idle-device IO latency %v", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := NewDevice(costs(), 8192)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range write did not panic")
+		}
+	}()
+	d.SubmitWrite(0, 8000, make([]byte, 4096))
+}
+
+func TestCutPowerDurableWritesSurvive(t *testing.T) {
+	d := NewDevice(costs(), 1<<20)
+	data := bytes.Repeat([]byte{0xAB}, 4096)
+	done := d.SubmitWrite(0, 0, data)
+	// Power cut strictly after completion: write is durable.
+	d.CutPower(done, sim.NewRNG(1))
+	buf := make([]byte, 4096)
+	d.PeekAt(0, buf)
+	if !bytes.Equal(buf, data) {
+		t.Fatal("completed write torn by power cut")
+	}
+}
+
+func TestCutPowerTearsInflight(t *testing.T) {
+	m := costs()
+	d := NewDevice(m, 1<<20)
+	data := bytes.Repeat([]byte{0xFF}, 64<<10)
+	done := d.SubmitWrite(0, 0, data)
+	// Cut in the middle of the IO.
+	d.CutPower(done/2, sim.NewRNG(7))
+	buf := make([]byte, len(data))
+	d.PeekAt(0, buf)
+	zeros, ffs, mixed := 0, 0, 0
+	for s := 0; s < len(buf); s += m.DiskSectorSize {
+		sector := buf[s : s+m.DiskSectorSize]
+		switch {
+		case bytes.Equal(sector, bytes.Repeat([]byte{0}, m.DiskSectorSize)):
+			zeros++
+		case bytes.Equal(sector, bytes.Repeat([]byte{0xFF}, m.DiskSectorSize)):
+			ffs++
+		default:
+			mixed++
+		}
+	}
+	if mixed != 0 {
+		t.Fatalf("%d sectors torn mid-sector (sector atomicity violated)", mixed)
+	}
+	if zeros == 0 || ffs == 0 {
+		t.Fatalf("tear not partial: %d old, %d new sectors", zeros, ffs)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := NewDevice(costs(), 1<<20)
+	d.SubmitWrite(0, 0, make([]byte, 4096))
+	d.SubmitRead(0, 0, make([]byte, 512))
+	s := d.Stats()
+	if s.Writes != 1 || s.Reads != 1 || s.BytesWritten != 4096 || s.BytesRead != 512 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestArrayRoundTrip(t *testing.T) {
+	a := NewArray(costs(), 2, 1<<20)
+	data := make([]byte, 200000) // spans several stripes
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	a.Write(0, 12345, data)
+	buf := make([]byte, len(data))
+	a.Read(time.Second, 12345, buf)
+	if !bytes.Equal(buf, data) {
+		t.Fatal("array round trip mismatch")
+	}
+}
+
+func TestArrayStripingParallelism(t *testing.T) {
+	m := costs()
+	single := NewArray(m, 1, 1<<24)
+	double := NewArray(m, 2, 1<<24)
+	big := make([]byte, 1<<20)
+	lat1 := single.Write(0, 0, big)
+	lat2 := double.Write(0, 0, big)
+	if lat2 >= lat1 {
+		t.Fatalf("striping did not help: 1 disk %v, 2 disks %v", lat1, lat2)
+	}
+	// Two disks should roughly halve transfer-dominated latency.
+	if lat2 > lat1*2/3 {
+		t.Fatalf("striping speedup too small: %v vs %v", lat2, lat1)
+	}
+}
+
+func TestArrayWriteVSingleCommandPerDevice(t *testing.T) {
+	m := costs()
+	a := NewArray(m, 2, 1<<24)
+	// 16 scattered 4 KiB extents within one stripe on device 0.
+	var extents []Extent
+	for i := 0; i < 16; i++ {
+		extents = append(extents, Extent{Offset: int64(i * 4096), Data: make([]byte, 4096)})
+	}
+	done := a.WriteV(0, extents)
+	// All on device 0, coalesced: one base latency + 64 KiB transfer.
+	want := m.IOCost(64 << 10)
+	if done != want {
+		t.Fatalf("vectored write latency %v, want %v", done, want)
+	}
+	if s := a.Stats(); s.Writes != 1 {
+		t.Fatalf("expected 1 device command, got %d", s.Writes)
+	}
+}
+
+func TestArrayCutPower(t *testing.T) {
+	a := NewArray(costs(), 2, 1<<20)
+	data := bytes.Repeat([]byte{1}, 128<<10)
+	done := a.Write(0, 0, data)
+	a.CutPower(done/4, sim.NewRNG(3))
+	buf := make([]byte, len(data))
+	a.PeekAt(0, buf)
+	if bytes.Equal(buf, data) {
+		t.Fatal("power cut at 25% left write fully durable (suspicious)")
+	}
+}
+
+func TestArrayRoundTripProperty(t *testing.T) {
+	f := func(off uint16, val byte, size uint8) bool {
+		a := NewArray(costs(), 2, 1<<20)
+		n := int(size) + 1
+		data := bytes.Repeat([]byte{val}, n)
+		offset := int64(off)
+		a.Write(0, offset, data)
+		buf := make([]byte, n)
+		a.PeekAt(offset, buf)
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	a := NewArray(costs(), 2, 1<<20)
+	buf := make([]byte, 4096)
+	done := a.Read(0, 0, buf)
+	if done != costs().IOCost(4096) {
+		t.Fatalf("read latency %v", done)
+	}
+}
+
+func TestEmptyWriteV(t *testing.T) {
+	a := NewArray(costs(), 2, 1<<20)
+	if done := a.WriteV(5*time.Microsecond, nil); done != 5*time.Microsecond {
+		t.Fatalf("empty WriteV advanced time: %v", done)
+	}
+}

@@ -1,0 +1,55 @@
+package disk
+
+// sparseBuf is a lazily allocated byte store: chunks materialize on
+// first write, so multi-GiB simulated devices cost real memory only
+// for the bytes actually used.
+type sparseBuf struct {
+	capacity int64
+	chunks   map[int64][]byte
+}
+
+// sparseChunk is the allocation unit.
+const sparseChunk = 256 << 10
+
+func newSparseBuf(capacity int64) *sparseBuf {
+	return &sparseBuf{capacity: capacity, chunks: make(map[int64][]byte)}
+}
+
+func (b *sparseBuf) readAt(off int64, dst []byte) {
+	for len(dst) > 0 {
+		ci := off / sparseChunk
+		within := off % sparseChunk
+		n := int64(sparseChunk) - within
+		if n > int64(len(dst)) {
+			n = int64(len(dst))
+		}
+		if chunk := b.chunks[ci]; chunk != nil {
+			copy(dst[:n], chunk[within:])
+		} else {
+			for i := int64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		off += n
+		dst = dst[n:]
+	}
+}
+
+func (b *sparseBuf) writeAt(off int64, src []byte) {
+	for len(src) > 0 {
+		ci := off / sparseChunk
+		within := off % sparseChunk
+		n := int64(sparseChunk) - within
+		if n > int64(len(src)) {
+			n = int64(len(src))
+		}
+		chunk := b.chunks[ci]
+		if chunk == nil {
+			chunk = make([]byte, sparseChunk)
+			b.chunks[ci] = chunk
+		}
+		copy(chunk[within:], src[:n])
+		off += n
+		src = src[n:]
+	}
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"memsnap/internal/litedb"
+	"memsnap/internal/workload"
+)
+
+// tatpDriver runs the TATP telecom schema on a litedb database
+// (Figure 5). Tables: subscriber, access_info, special_facility,
+// call_forwarding — each keyed by subscriber id (and type where
+// relevant), as in the TATP specification.
+type tatpDriver struct {
+	db *litedb.DB
+}
+
+const (
+	tblSubscriber = "subscriber"
+	tblAccessInfo = "access_info"
+	tblSpecialFac = "special_facility"
+	tblCallFwd    = "call_forwarding"
+)
+
+func tatpKey(sub int64, sub2 int) []byte {
+	k := make([]byte, 12)
+	binary.BigEndian.PutUint64(k, uint64(sub))
+	binary.BigEndian.PutUint32(k[8:], uint32(sub2))
+	return k
+}
+
+// subscriberRow is ~100 bytes like TATP's subscriber tuple.
+func subscriberRow(sub, location int64) []byte {
+	row := make([]byte, 100)
+	binary.LittleEndian.PutUint64(row, uint64(sub))
+	binary.LittleEndian.PutUint64(row[8:], uint64(location))
+	for i := 16; i < len(row); i++ {
+		row[i] = byte(sub + int64(i))
+	}
+	return row
+}
+
+// newTATPDriver creates the schema and loads subscribers records.
+func newTATPDriver(db *litedb.DB, subscribers int64) (*tatpDriver, error) {
+	d := &tatpDriver{db: db}
+	tx := db.Begin()
+	for _, tbl := range []string{tblSubscriber, tblAccessInfo, tblSpecialFac, tblCallFwd} {
+		if err := tx.CreateTable(tbl); err != nil {
+			tx.Rollback()
+			return nil, err
+		}
+	}
+	tx.Commit()
+
+	// Load in chunks so the WAL-mode loader checkpoints naturally.
+	const chunk = 500
+	for start := int64(0); start < subscribers; start += chunk {
+		tx := db.Begin()
+		end := start + chunk
+		if end > subscribers {
+			end = subscribers
+		}
+		for sub := start; sub < end; sub++ {
+			if err := tx.Put(tblSubscriber, tatpKey(sub, 0), subscriberRow(sub, 0)); err != nil {
+				tx.Rollback()
+				return nil, err
+			}
+			for ai := 1; ai <= 4; ai++ {
+				if err := tx.Put(tblAccessInfo, tatpKey(sub, ai), subscriberRow(sub, int64(ai))); err != nil {
+					tx.Rollback()
+					return nil, err
+				}
+			}
+			if err := tx.Put(tblSpecialFac, tatpKey(sub, 1), subscriberRow(sub, 1)); err != nil {
+				tx.Rollback()
+				return nil, err
+			}
+		}
+		tx.Commit()
+	}
+	return d, nil
+}
+
+// run executes one TATP transaction; returns whether it wrote.
+func (d *tatpDriver) run(tx workload.TATPTx) (bool, error) {
+	t := d.db.Begin()
+	defer t.Commit()
+	switch tx.Op {
+	case workload.TATPGetSubscriberData:
+		if _, ok, err := t.Get(tblSubscriber, tatpKey(tx.Subscriber, 0)); err != nil || !ok {
+			return false, orMissing(err, "subscriber")
+		}
+	case workload.TATPGetNewDestination:
+		t.Get(tblSpecialFac, tatpKey(tx.Subscriber, 1))
+		t.Get(tblCallFwd, tatpKey(tx.Subscriber, tx.AIType))
+	case workload.TATPGetAccessData:
+		if _, ok, err := t.Get(tblAccessInfo, tatpKey(tx.Subscriber, tx.AIType)); err != nil || !ok {
+			return false, orMissing(err, "access_info")
+		}
+	case workload.TATPUpdateSubscriberData:
+		if err := t.Put(tblSpecialFac, tatpKey(tx.Subscriber, 1), subscriberRow(tx.Subscriber, tx.Location)); err != nil {
+			return false, err
+		}
+		return true, nil
+	case workload.TATPUpdateLocation:
+		if err := t.Put(tblSubscriber, tatpKey(tx.Subscriber, 0), subscriberRow(tx.Subscriber, tx.Location)); err != nil {
+			return false, err
+		}
+		return true, nil
+	case workload.TATPInsertCallForwarding:
+		if err := t.Put(tblCallFwd, tatpKey(tx.Subscriber, tx.AIType), subscriberRow(tx.Subscriber, 0)); err != nil {
+			return false, err
+		}
+		return true, nil
+	case workload.TATPDeleteCallForwarding:
+		if _, err := t.Delete(tblCallFwd, tatpKey(tx.Subscriber, tx.AIType)); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func orMissing(err error, what string) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("tatp: %s row missing", what)
+}

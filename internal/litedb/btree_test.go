@@ -1,0 +1,149 @@
+package litedb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"memsnap/internal/sim"
+)
+
+// memPager is a trivial in-memory pager for isolated B+tree tests.
+type memPager struct {
+	pages [][]byte
+}
+
+func (m *memPager) page(n uint32) []byte         { return m.pages[n] }
+func (m *memPager) pageForWrite(n uint32) []byte { return m.pages[n] }
+func (m *memPager) allocPage() uint32 {
+	m.pages = append(m.pages, make([]byte, PageSize))
+	return uint32(len(m.pages) - 1)
+}
+
+func newTestTree() *btree {
+	pg := &memPager{}
+	pg.allocPage() // page 0 is reserved (catalog / nil sentinel)
+	root := pg.allocPage()
+	initPage(pg.page(root), pageTypeLeaf)
+	return &btree{pg: pg, root: root}
+}
+
+// TestBtreeOracleFuzz compares the B+tree against a map oracle under
+// random puts, deletes and overwrites with varying value sizes.
+func TestBtreeOracleFuzz(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		rng := sim.NewRNG(seed + 99)
+		tree := newTestTree()
+		oracle := map[string][]byte{}
+
+		for op := 0; op < 8000; op++ {
+			key := []byte(fmt.Sprintf("key-%06d", rng.Intn(1500)))
+			switch rng.Intn(10) {
+			case 0, 1:
+				if tree.delete(key) != (oracle[string(key)] != nil) {
+					t.Fatalf("seed %d op %d: delete result mismatch for %s", seed, op, key)
+				}
+				delete(oracle, string(key))
+			default:
+				val := bytes.Repeat([]byte{byte(op)}, 1+rng.Intn(300))
+				if err := tree.put(key, val); err != nil {
+					t.Fatalf("seed %d op %d: put: %v", seed, op, err)
+				}
+				oracle[string(key)] = val
+			}
+		}
+
+		// Point lookups.
+		for k, want := range oracle {
+			got, ok := tree.get([]byte(k))
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: key %s: got %d bytes ok=%v, want %d bytes", seed, k, len(got), ok, len(want))
+			}
+		}
+		// Absent keys stay absent.
+		if _, ok := tree.get([]byte("key-999999")); ok {
+			t.Fatalf("seed %d: phantom key", seed)
+		}
+		// Full scan matches the oracle in both content and order.
+		var prev []byte
+		count := 0
+		tree.scan(nil, nil, func(k, v []byte) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("seed %d: scan out of order: %s after %s", seed, k, prev)
+			}
+			want, ok := oracle[string(k)]
+			if !ok || !bytes.Equal(v, want) {
+				t.Fatalf("seed %d: scan saw wrong value for %s", seed, k)
+			}
+			prev = append(prev[:0], k...)
+			count++
+			return true
+		})
+		if count != len(oracle) {
+			t.Fatalf("seed %d: scan saw %d keys, oracle has %d", seed, count, len(oracle))
+		}
+	}
+}
+
+// TestBtreeRangeScanBounds exercises partial scans against an oracle.
+func TestBtreeRangeScanBounds(t *testing.T) {
+	tree := newTestTree()
+	for i := 0; i < 2000; i++ {
+		tree.put([]byte(fmt.Sprintf("%05d", i)), []byte{byte(i)})
+	}
+	var got []string
+	tree.scan([]byte("00500"), []byte("00510"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 || got[0] != "00500" || got[9] != "00509" {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Early termination.
+	n := 0
+	tree.scan(nil, nil, func(k, v []byte) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+// TestBtreeSequentialAndReverseInsert hits both split paths hard.
+func TestBtreeSequentialAndReverseInsert(t *testing.T) {
+	for _, reverse := range []bool{false, true} {
+		tree := newTestTree()
+		const n = 4000
+		val := bytes.Repeat([]byte{7}, 120)
+		for i := 0; i < n; i++ {
+			k := i
+			if reverse {
+				k = n - 1 - i
+			}
+			if err := tree.put([]byte(fmt.Sprintf("%08d", k)), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i += 137 {
+			if _, ok := tree.get([]byte(fmt.Sprintf("%08d", i))); !ok {
+				t.Fatalf("reverse=%v: key %d lost", reverse, i)
+			}
+		}
+	}
+}
+
+// TestCompactReclaimsSpace ensures dead cell space is reused.
+func TestCompactReclaimsSpace(t *testing.T) {
+	tree := newTestTree()
+	key := []byte("the-key")
+	// Repeatedly resize the same value: dead cells accumulate until
+	// compact reclaims them in place (no split should ever occur).
+	for i := 0; i < 500; i++ {
+		val := bytes.Repeat([]byte{byte(i)}, 100+i%37)
+		if err := tree.put(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mp := tree.pg.(*memPager)
+	if len(mp.pages) != 2 {
+		t.Fatalf("single-key churn split the tree: %d pages", len(mp.pages))
+	}
+}

@@ -1,0 +1,184 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memsnap/internal/sim"
+)
+
+func newTestMem() *PhysMem { return New(sim.DefaultCosts()) }
+
+func TestAllocZeroed(t *testing.T) {
+	m := newTestMem()
+	pg := m.Alloc(nil)
+	data := m.Data(pg.Frame())
+	if len(data) != PageSize {
+		t.Fatalf("frame size = %d", len(data))
+	}
+	for i, b := range data {
+		if b != 0 {
+			t.Fatalf("byte %d not zero", i)
+		}
+	}
+}
+
+func TestAllocChargesClock(t *testing.T) {
+	m := newTestMem()
+	clk := sim.NewClock()
+	m.Alloc(clk)
+	if clk.Now() == 0 {
+		t.Fatal("Alloc did not charge the clock")
+	}
+}
+
+func TestFreeReuseZeroes(t *testing.T) {
+	m := newTestMem()
+	pg := m.Alloc(nil)
+	copy(m.Data(pg.Frame()), []byte("dirty data"))
+	f := pg.Frame()
+	m.Free(pg)
+	pg2 := m.Alloc(nil)
+	if pg2.Frame() != f {
+		t.Fatalf("free frame not reused: got %d want %d", pg2.Frame(), f)
+	}
+	for i, b := range m.Data(pg2.Frame()) {
+		if b != 0 {
+			t.Fatalf("reused frame byte %d not zeroed", i)
+		}
+	}
+}
+
+func TestPageLookup(t *testing.T) {
+	m := newTestMem()
+	pg := m.Alloc(nil)
+	if got := m.Page(pg.Frame()); got != pg {
+		t.Fatal("Page lookup mismatch")
+	}
+	m.Free(pg)
+	if got := m.Page(pg.Frame()); got != nil {
+		t.Fatal("freed frame still has metadata")
+	}
+	if got := m.Page(Frame(9999)); got != nil {
+		t.Fatal("out-of-range frame returned metadata")
+	}
+}
+
+func TestFlags(t *testing.T) {
+	m := newTestMem()
+	pg := m.Alloc(nil)
+	if pg.HasFlag(FlagCheckpointInProgress) {
+		t.Fatal("fresh page has flag set")
+	}
+	pg.SetFlag(FlagCheckpointInProgress)
+	if !pg.HasFlag(FlagCheckpointInProgress) {
+		t.Fatal("SetFlag did not stick")
+	}
+	pg.SetFlag(FlagTracked)
+	if !pg.HasFlag(FlagCheckpointInProgress | FlagTracked) {
+		t.Fatal("combined flags not set")
+	}
+	pg.ClearFlag(FlagCheckpointInProgress)
+	if pg.HasFlag(FlagCheckpointInProgress) {
+		t.Fatal("ClearFlag did not clear")
+	}
+	if !pg.HasFlag(FlagTracked) {
+		t.Fatal("ClearFlag cleared unrelated flag")
+	}
+}
+
+func TestFlagsConcurrent(t *testing.T) {
+	m := newTestMem()
+	pg := m.Alloc(nil)
+	done := make(chan bool)
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				pg.SetFlag(FlagTracked)
+				pg.ClearFlag(FlagTracked)
+			}
+			done <- true
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}
+
+func TestReverseMappings(t *testing.T) {
+	m := newTestMem()
+	pg := m.Alloc(nil)
+	ownerA, ownerB := "asA", "asB"
+	pg.AddMapping(ReverseMapping{Owner: ownerA, VPN: 10})
+	pg.AddMapping(ReverseMapping{Owner: ownerB, VPN: 20})
+	if pg.RefCount() != 2 {
+		t.Fatalf("refcount = %d", pg.RefCount())
+	}
+	maps := pg.Mappings()
+	if len(maps) != 2 {
+		t.Fatalf("mappings = %v", maps)
+	}
+	pg.RemoveMapping(ownerA, 10)
+	if pg.RefCount() != 1 {
+		t.Fatalf("refcount after remove = %d", pg.RefCount())
+	}
+	if got := pg.Mappings(); len(got) != 1 || got[0].Owner != ownerB {
+		t.Fatalf("wrong mapping removed: %v", got)
+	}
+	// Removing a non-existent mapping is a no-op.
+	pg.RemoveMapping(ownerA, 99)
+	if pg.RefCount() != 1 {
+		t.Fatal("no-op remove changed refcount")
+	}
+}
+
+func TestCopy(t *testing.T) {
+	m := newTestMem()
+	src := m.Alloc(nil)
+	copy(m.Data(src.Frame()), []byte("hello memsnap"))
+	clk := sim.NewClock()
+	dst := m.Copy(clk, src)
+	if dst.Frame() == src.Frame() {
+		t.Fatal("Copy returned same frame")
+	}
+	if string(m.Data(dst.Frame())[:13]) != "hello memsnap" {
+		t.Fatal("Copy did not copy data")
+	}
+	if clk.Now() == 0 {
+		t.Fatal("Copy did not charge the clock")
+	}
+	// Mutating the copy must not affect the source.
+	m.Data(dst.Frame())[0] = 'X'
+	if m.Data(src.Frame())[0] != 'h' {
+		t.Fatal("copy aliases source")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := newTestMem()
+	a := m.Alloc(nil)
+	m.Alloc(nil)
+	m.Free(a)
+	s := m.Stats()
+	if s.TotalFrames != 2 || s.FreeFrames != 1 || s.Allocations != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAllocUniqueFramesProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		m := newTestMem()
+		seen := make(map[Frame]bool)
+		for i := 0; i < int(n); i++ {
+			pg := m.Alloc(nil)
+			if seen[pg.Frame()] {
+				return false
+			}
+			seen[pg.Frame()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

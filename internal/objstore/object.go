@@ -1,0 +1,185 @@
+package objstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"memsnap/internal/disk"
+)
+
+// Object is one named COW region in the store. Each object carries
+// its own logical history: a monotonic epoch incremented per commit,
+// independent of every other object, so uCheckpoints of different
+// objects proceed concurrently.
+type Object struct {
+	store     *Store
+	name      string
+	ringOff   int64
+	maxBlocks int64
+
+	mu    sync.Mutex
+	tree  *tree
+	epoch Epoch
+}
+
+// BlockWrite is one dirty block in a commit.
+type BlockWrite struct {
+	// Index is the block index within the object.
+	Index int64
+	// Data is the 4 KiB block contents. Shorter slices are
+	// zero-padded.
+	Data []byte
+}
+
+// Name returns the object name.
+func (o *Object) Name() string { return o.name }
+
+// Epoch returns the current epoch.
+func (o *Object) Epoch() Epoch {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.epoch
+}
+
+// MaxBlocks returns the object's capacity in blocks.
+func (o *Object) MaxBlocks() int64 { return o.maxBlocks }
+
+// Commit persists one uCheckpoint: every block lands in newly
+// allocated space, the dirtied radix-tree path is rewritten COW
+// bottom-up, and a checksummed commit record is written strictly
+// after the data. Returns the new epoch and the virtual time at which
+// the commit is durable.
+//
+// Commits to one object serialize; commits to different objects are
+// independent (per-object epochs).
+func (o *Object) Commit(at time.Duration, writes []BlockWrite) (Epoch, time.Duration, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	if len(writes) == 0 {
+		o.epoch++
+		return o.epoch, at, nil
+	}
+	for _, w := range writes {
+		if w.Index < 0 || w.Index >= o.maxBlocks {
+			return 0, at, fmt.Errorf("objstore: block %d out of range for %q (max %d)", w.Index, o.name, o.maxBlocks)
+		}
+		if len(w.Data) > BlockSize {
+			return 0, at, fmt.Errorf("objstore: block write of %d bytes", len(w.Data))
+		}
+	}
+
+	s := o.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var freed []int64
+	extents := make([]disk.Extent, 0, len(writes)+4)
+
+	// Data blocks: fresh space, sequential on disk thanks to the bump
+	// allocator — this is how random object updates become sequential
+	// writes.
+	dirtyNodes := make(map[*node]bool)
+	for _, w := range writes {
+		addr, err := s.alloc.alloc(at)
+		if err != nil {
+			return 0, at, err
+		}
+		data := w.Data
+		if len(data) < BlockSize {
+			padded := make([]byte, BlockSize)
+			copy(padded, data)
+			data = padded
+		}
+		extents = append(extents, disk.Extent{Offset: addr, Data: data})
+		if old := o.tree.set(w.Index, addr); old != 0 {
+			freed = append(freed, old)
+		}
+		for _, n := range o.tree.pathNodes(w.Index) {
+			dirtyNodes[n] = true
+		}
+	}
+
+	// COW the dirtied tree path: every dirty node moves to a new
+	// address; parents pick up the new child addresses. Serialize
+	// bottom-up via recursion from the root.
+	var serialize func(n *node, levelsLeft int) (int64, error)
+	serialize = func(n *node, levelsLeft int) (int64, error) {
+		if levelsLeft > 1 {
+			for i, kid := range n.kids {
+				if kid == nil || !dirtyNodes[kid] {
+					continue
+				}
+				addr, err := serialize(kid, levelsLeft-1)
+				if err != nil {
+					return 0, err
+				}
+				n.children[i] = addr
+			}
+		}
+		if n.addr != 0 {
+			freed = append(freed, n.addr)
+		}
+		addr, err := s.alloc.alloc(at)
+		if err != nil {
+			return 0, err
+		}
+		n.addr = addr
+		extents = append(extents, disk.Extent{Offset: addr, Data: marshalNode(n.children)})
+		return addr, nil
+	}
+	rootAddr, err := serialize(o.tree.root, o.tree.levels)
+	if err != nil {
+		return 0, at, err
+	}
+
+	// Phase 1: data + tree nodes as one vectored IO.
+	done := s.arr.WriteV(at, extents)
+
+	// Phase 2: the commit record, ordered after phase 1.
+	o.epoch++
+	rec := &commitRecord{
+		Magic:    magicObjRec,
+		Epoch:    uint64(o.epoch),
+		RootAddr: rootAddr,
+		Levels:   int64(o.tree.levels),
+	}
+	slot := int64(uint64(o.epoch) % objRingSlots)
+	done = s.arr.Write(done, o.ringOff+slot*sectorSize, rec.marshal())
+
+	// Replaced blocks become reusable once this commit is durable.
+	s.alloc.freeAt(freed, done)
+	return o.epoch, done, nil
+}
+
+// ReadBlock fills dst with block idx's contents (zeroes if the block
+// was never written) and returns the completion time.
+func (o *Object) ReadBlock(at time.Duration, idx int64, dst []byte) (time.Duration, error) {
+	if idx < 0 || idx >= o.maxBlocks {
+		return at, fmt.Errorf("objstore: read block %d out of range for %q", idx, o.name)
+	}
+	o.mu.Lock()
+	addr := o.tree.lookup(idx)
+	o.mu.Unlock()
+	if addr == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return at, nil
+	}
+	if len(dst) > BlockSize {
+		dst = dst[:BlockSize]
+	}
+	return o.store.arr.Read(at, addr, dst), nil
+}
+
+// WrittenBlocks returns the indices of all blocks ever written, in
+// order. Used by restore paths that page data back in.
+func (o *Object) WrittenBlocks() []int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var idxs []int64
+	o.tree.forEach(func(idx, _ int64) { idxs = append(idxs, idx) })
+	return idxs
+}

@@ -1,0 +1,160 @@
+package objstore
+
+// treeFanout is the number of children per radix node (4 KiB node of
+// 8-byte disk addresses).
+const treeFanout = BlockSize / 8
+
+// node is the in-memory form of one radix-tree node. The children
+// array holds disk addresses (0 = absent); kids caches loaded child
+// nodes for interior levels.
+type node struct {
+	addr     int64 // disk address of the serialized form of this node
+	children []int64
+	kids     []*node // interior nodes only
+}
+
+func newNode(interior bool) *node {
+	n := &node{children: make([]int64, treeFanout)}
+	if interior {
+		n.kids = make([]*node, treeFanout)
+	}
+	return n
+}
+
+// tree is the COW radix tree of one object. Leaves map block indices
+// to data-block disk addresses.
+type tree struct {
+	root   *node
+	levels int // 1 = root is a leaf
+}
+
+// levelsFor returns how many radix levels are needed for maxBlocks
+// blocks.
+func levelsFor(maxBlocks int64) int {
+	levels := 1
+	capacity := int64(treeFanout)
+	for capacity < maxBlocks {
+		capacity *= treeFanout
+		levels++
+	}
+	return levels
+}
+
+func newTree(maxBlocks int64) *tree {
+	levels := levelsFor(maxBlocks)
+	return &tree{root: newNode(levels > 1), levels: levels}
+}
+
+// slotPath returns the child index at each level for block idx, from
+// the root down.
+func (t *tree) slotPath(idx int64) []int {
+	path := make([]int, t.levels)
+	for level := t.levels - 1; level >= 0; level-- {
+		path[level] = int(idx % treeFanout)
+		idx /= treeFanout
+	}
+	return path
+}
+
+// lookup returns the data-block address for idx, or 0.
+func (t *tree) lookup(idx int64) int64 {
+	n := t.root
+	path := t.slotPath(idx)
+	for level := 0; level < t.levels-1; level++ {
+		n = n.kids[path[level]]
+		if n == nil {
+			return 0
+		}
+	}
+	return n.children[path[t.levels-1]]
+}
+
+// set installs addr for idx and returns the previous address (0 if
+// none). Interior nodes are created as needed; the dirtied path is
+// the caller's responsibility to rewrite during commit.
+func (t *tree) set(idx int64, addr int64) (old int64) {
+	n := t.root
+	path := t.slotPath(idx)
+	for level := 0; level < t.levels-1; level++ {
+		next := n.kids[path[level]]
+		if next == nil {
+			next = newNode(level < t.levels-2)
+			n.kids[path[level]] = next
+			n.children[path[level]] = 0 // not yet on disk
+		}
+		n = next
+	}
+	slot := path[t.levels-1]
+	old = n.children[slot]
+	n.children[slot] = addr
+	return old
+}
+
+// pathNodes returns the nodes along idx's path, root first. Nodes are
+// created if missing (matching set's behavior).
+func (t *tree) pathNodes(idx int64) []*node {
+	nodes := make([]*node, 0, t.levels)
+	n := t.root
+	nodes = append(nodes, n)
+	path := t.slotPath(idx)
+	for level := 0; level < t.levels-1; level++ {
+		next := n.kids[path[level]]
+		if next == nil {
+			next = newNode(level < t.levels-2)
+			n.kids[path[level]] = next
+			n.children[path[level]] = 0
+		}
+		n = next
+		nodes = append(nodes, n)
+	}
+	return nodes
+}
+
+// forEach visits every (blockIdx, addr) pair in the tree in index
+// order.
+func (t *tree) forEach(fn func(idx int64, addr int64)) {
+	t.walk(t.root, 0, t.levels, fn)
+}
+
+func (t *tree) walk(n *node, base int64, levelsLeft int, fn func(idx, addr int64)) {
+	if n == nil {
+		return
+	}
+	if levelsLeft == 1 {
+		for i, addr := range n.children {
+			if addr != 0 {
+				fn(base+int64(i), addr)
+			}
+		}
+		return
+	}
+	span := int64(1)
+	for i := 0; i < levelsLeft-1; i++ {
+		span *= treeFanout
+	}
+	for i := 0; i < treeFanout; i++ {
+		if n.kids[i] != nil {
+			t.walk(n.kids[i], base+int64(i)*span, levelsLeft-1, fn)
+		}
+	}
+}
+
+// nodeAddrs visits every node in the tree (for recovery's used-block
+// accounting).
+func (t *tree) nodeAddrs(fn func(addr int64)) {
+	var visit func(n *node)
+	visit = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.addr != 0 {
+			fn(n.addr)
+		}
+		for _, k := range n.kids {
+			if k != nil {
+				visit(k)
+			}
+		}
+	}
+	visit(t.root)
+}

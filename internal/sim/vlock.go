@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// VLock is a mutex that is also visible in virtual time: a thread
+// acquiring it advances its clock to the moment the previous holder
+// released it, so lock contention shows up in measured virtual
+// latency (e.g. RocksDB threads queueing on a hot skip-list node, or
+// Aurora serializing checkpoints).
+type VLock struct {
+	mu     sync.Mutex
+	freeAt time.Duration
+}
+
+// Lock acquires the lock and advances clk past the previous holder's
+// release time. clk may be nil for setup-time uses.
+func (l *VLock) Lock(clk *Clock) {
+	l.mu.Lock()
+	if clk != nil {
+		clk.AdvanceTo(l.freeAt)
+	}
+}
+
+// Unlock records the release time from clk and releases the lock.
+func (l *VLock) Unlock(clk *Clock) {
+	if clk != nil && clk.Now() > l.freeAt {
+		l.freeAt = clk.Now()
+	}
+	l.mu.Unlock()
+}

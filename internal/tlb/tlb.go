@@ -1,0 +1,182 @@
+// Package tlb simulates per-CPU translation lookaside buffers and the
+// inter-processor shootdown protocol MemSnap uses when resetting page
+// protections after a uCheckpoint.
+//
+// MemSnap issues per-page shootdowns for small dirty sets and a full
+// TLB invalidation for large ones; the crossover threshold lives in
+// the cost model (TLBFlushThreshold).
+package tlb
+
+import (
+	"sync"
+	"time"
+
+	"memsnap/internal/mem"
+	"memsnap/internal/sim"
+)
+
+// Entry is one cached translation.
+type Entry struct {
+	Frame    mem.Frame
+	Writable bool
+}
+
+// TLB is one CPU's translation cache. It is safe for concurrent use
+// (threads migrate between simulated CPUs and remote CPUs invalidate
+// entries during shootdowns).
+type TLB struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[uint64]Entry
+	fifo     []uint64
+
+	hits   int64
+	misses int64
+}
+
+// DefaultCapacity is the number of 4 KiB translations a simulated
+// CPU's TLB holds (1536 matches Skylake-SP's L2 STLB).
+const DefaultCapacity = 1536
+
+// New returns an empty TLB with the given capacity (DefaultCapacity if
+// capacity <= 0).
+func New(capacity int) *TLB {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &TLB{
+		capacity: capacity,
+		entries:  make(map[uint64]Entry, capacity),
+	}
+}
+
+// Lookup returns the cached translation for vpn.
+func (t *TLB) Lookup(vpn uint64) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[vpn]
+	if ok {
+		t.hits++
+	} else {
+		t.misses++
+	}
+	return e, ok
+}
+
+// Insert caches a translation, evicting FIFO if full.
+func (t *TLB) Insert(vpn uint64, e Entry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.entries[vpn]; !exists {
+		if len(t.entries) >= t.capacity {
+			victim := t.fifo[0]
+			t.fifo = t.fifo[1:]
+			delete(t.entries, victim)
+		}
+		t.fifo = append(t.fifo, vpn)
+	}
+	t.entries[vpn] = e
+}
+
+// InvalidatePage drops the translation for vpn, if cached.
+func (t *TLB) InvalidatePage(vpn uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.entries[vpn]; !ok {
+		return
+	}
+	delete(t.entries, vpn)
+	for i, v := range t.fifo {
+		if v == vpn {
+			t.fifo = append(t.fifo[:i], t.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// InvalidateAll empties the TLB.
+func (t *TLB) InvalidateAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[uint64]Entry, t.capacity)
+	t.fifo = t.fifo[:0]
+}
+
+// Len returns the number of cached translations.
+func (t *TLB) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Stats reports hit/miss counters.
+func (t *TLB) Stats() (hits, misses int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses
+}
+
+// System models the TLBs of all CPUs in the machine plus the shootdown
+// protocol between them.
+type System struct {
+	costs *sim.CostModel
+	cpus  []*TLB
+}
+
+// NewSystem creates a system with ncpus TLBs.
+func NewSystem(costs *sim.CostModel, ncpus int) *System {
+	if costs == nil {
+		costs = sim.DefaultCosts()
+	}
+	if ncpus <= 0 {
+		ncpus = 1
+	}
+	s := &System{costs: costs}
+	for i := 0; i < ncpus; i++ {
+		s.cpus = append(s.cpus, New(0))
+	}
+	return s
+}
+
+// CPU returns the TLB of the given CPU.
+func (s *System) CPU(i int) *TLB { return s.cpus[i%len(s.cpus)] }
+
+// NumCPUs returns the number of simulated CPUs.
+func (s *System) NumCPUs() int { return len(s.cpus) }
+
+// ShootdownPages invalidates the given pages on every CPU, charging
+// the per-page IPI cost to clk. The initiating thread pays the cost;
+// remote CPUs are interrupted for free in virtual time (their stall is
+// folded into the per-page constant, as in the paper's model where the
+// initiator waits for acknowledgements).
+func (s *System) ShootdownPages(clk *sim.Clock, vpns []uint64) {
+	if clk != nil {
+		clk.Advance(s.costs.TLBShootdownPerPage * time.Duration(len(vpns)))
+	}
+	for _, t := range s.cpus {
+		for _, vpn := range vpns {
+			t.InvalidatePage(vpn)
+		}
+	}
+}
+
+// FullFlush invalidates every TLB in the system for a fixed cost.
+func (s *System) FullFlush(clk *sim.Clock) {
+	if clk != nil {
+		clk.Advance(s.costs.TLBFullFlush)
+	}
+	for _, t := range s.cpus {
+		t.InvalidateAll()
+	}
+}
+
+// Invalidate picks the cheaper strategy for the given dirty set, the
+// policy MemSnap applies after a uCheckpoint: per-page shootdowns
+// below the threshold, a full flush at or above it.
+func (s *System) Invalidate(clk *sim.Clock, vpns []uint64) {
+	if len(vpns) < s.costs.TLBFlushThreshold {
+		s.ShootdownPages(clk, vpns)
+		return
+	}
+	s.FullFlush(clk)
+}

@@ -1,0 +1,166 @@
+package vm
+
+import (
+	"time"
+
+	"memsnap/internal/mem"
+	"memsnap/internal/pagetable"
+	"memsnap/internal/sim"
+)
+
+// This file implements the three techniques for re-applying read
+// protection to a dirty set after a uCheckpoint, compared in Figure 1
+// of the paper:
+//
+//   - ResetProtectionsScan: traverse the page tables of the whole
+//     mapping to find and protect dirty pages (the baseline). Cost is
+//     proportional to the mapping size.
+//   - ResetProtectionsWalk: walk the page table from the root once per
+//     dirty page. Cost is walkDepth x dirty pages.
+//   - ResetProtectionsTrace: modify the PTEs directly through the
+//     references recorded in the trace buffer at fault time. Cost is
+//     one PTE store per dirty page — MemSnap's strategy.
+//
+// All three also reset protections in *other* address spaces that map
+// the same physical page (multiprocess applications) by following the
+// page's physical-to-virtual reverse mappings, and clear the
+// FlagTracked bit.
+
+// resetOtherMappings write-protects every mapping of pg outside as,
+// charging a page walk plus a PTE write per remote address space.
+func resetOtherMappings(clk *sim.Clock, as *AddressSpace, pg *mem.Page, costs *sim.CostModel) {
+	for _, rm := range pg.Mappings() {
+		other, ok := rm.Owner.(*AddressSpace)
+		if !ok || other == as {
+			continue
+		}
+		other.mu.Lock()
+		if pte := other.table.Lookup(rm.VPN); pte != nil && pte.Present {
+			if clk != nil {
+				clk.Advance(costs.PageWalk + costs.PTEWrite)
+			}
+			pte.Writable = false
+		}
+		other.mu.Unlock()
+		other.tlbs.ShootdownPages(clk, []uint64{rm.VPN})
+	}
+}
+
+// ResetProtectionsTrace is MemSnap's protection reset: direct PTE
+// stores through the trace-buffer references. The caller passes the
+// records taken from a thread's trace buffer. Returns the VPNs reset
+// (for the TLB invalidation that must follow).
+func (as *AddressSpace) ResetProtectionsTrace(clk *sim.Clock, records []DirtyRecord) []uint64 {
+	as.mu.Lock()
+	vpns := make([]uint64, 0, len(records))
+	for _, rec := range records {
+		if clk != nil {
+			clk.Advance(as.costs.PTEWrite)
+		}
+		rec.PTE.Writable = false
+		rec.Page.ClearFlag(mem.FlagTracked)
+		vpns = append(vpns, rec.VPN)
+	}
+	as.mu.Unlock()
+	for _, rec := range records {
+		if rec.Page.RefCount() > 1 {
+			resetOtherMappings(clk, as, rec.Page, as.costs)
+		}
+	}
+	return vpns
+}
+
+// ResetProtectionsWalk implements the per-page strategy: a full
+// root-to-leaf walk for every dirty page.
+func (as *AddressSpace) ResetProtectionsWalk(clk *sim.Clock, records []DirtyRecord) []uint64 {
+	as.mu.Lock()
+	vpns := make([]uint64, 0, len(records))
+	for _, rec := range records {
+		if pte := as.table.Walk(clk, rec.VPN); pte != nil {
+			if clk != nil {
+				clk.Advance(as.costs.PTEWrite)
+			}
+			pte.Writable = false
+		}
+		rec.Page.ClearFlag(mem.FlagTracked)
+		vpns = append(vpns, rec.VPN)
+	}
+	as.mu.Unlock()
+	for _, rec := range records {
+		if rec.Page.RefCount() > 1 {
+			resetOtherMappings(clk, as, rec.Page, as.costs)
+		}
+	}
+	return vpns
+}
+
+// ResetProtectionsScan implements the baseline strategy: linearly
+// scan the page tables spanning the whole mapping and protect every
+// writable entry found. Cost scales with the mapping, not the dirty
+// set.
+func (as *AddressSpace) ResetProtectionsScan(clk *sim.Clock, m *Mapping) []uint64 {
+	as.mu.Lock()
+	var vpns []uint64
+	as.table.ScanRange(clk, m.Start/PageSize, m.Pages, func(pte *pagetable.PTE) {
+		if !pte.Writable {
+			return
+		}
+		if clk != nil {
+			clk.Advance(as.costs.PTEWrite)
+		}
+		pte.Writable = false
+		if pg := as.phys.Page(pte.Frame); pg != nil {
+			pg.ClearFlag(mem.FlagTracked)
+		}
+		vpns = append(vpns, pte.VPN)
+	})
+	as.mu.Unlock()
+	return vpns
+}
+
+// MarkCheckpointInProgress sets the in-progress flag on every record's
+// page. Call this BEFORE resetting protections: a writer that faults
+// while the flush is being prepared must already observe the flag and
+// take the COW path. The returned release function clears the flags;
+// call it when the IO completes.
+func (as *AddressSpace) MarkCheckpointInProgress(records []DirtyRecord) (release func()) {
+	pages := make([]*mem.Page, 0, len(records))
+	for _, rec := range records {
+		rec.Page.SetFlag(mem.FlagCheckpointInProgress)
+		pages = append(pages, rec.Page)
+	}
+	return func() {
+		for _, pg := range pages {
+			pg.ClearFlag(mem.FlagCheckpointInProgress)
+		}
+	}
+}
+
+// SnapshotPages returns the frame bytes of each record's page. The
+// slices alias live frames; the in-progress flag guarantees stability
+// because any concurrent writer duplicates the frame (unified COW)
+// rather than mutating it.
+func (as *AddressSpace) SnapshotPages(records []DirtyRecord) [][]byte {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	snapshots := make([][]byte, 0, len(records))
+	for _, rec := range records {
+		snapshots = append(snapshots, as.phys.Data(rec.Page.Frame()))
+	}
+	return snapshots
+}
+
+// ChargeThreadStopAll models stopping every registered thread (the
+// serialization point of fork-style and Aurora-style checkpointing).
+// The initiating clock pays a stop cost per thread; MemSnap never
+// calls this on its persist path.
+func (as *AddressSpace) ChargeThreadStopAll(clk *sim.Clock) time.Duration {
+	as.mu.Lock()
+	n := len(as.threads)
+	as.mu.Unlock()
+	d := time.Duration(n) * (as.costs.ThreadStop + as.costs.ThreadResume)
+	if clk != nil {
+		clk.Advance(d)
+	}
+	return d
+}

@@ -1,0 +1,266 @@
+package vm
+
+import (
+	"fmt"
+	"time"
+
+	"memsnap/internal/mem"
+	"memsnap/internal/pagetable"
+	"memsnap/internal/sim"
+	"memsnap/internal/tlb"
+)
+
+// Thread is a simulated application thread: the unit of dirty-set
+// tracking. All region memory accesses are performed through a Thread
+// so the simulation can deliver page faults.
+type Thread struct {
+	ID    int
+	clock *sim.Clock
+	cpu   int
+	as    *AddressSpace
+
+	// dirty is the trace buffer: the per-thread list of dirtied pages
+	// with their PTE references, in fault order.
+	dirty []DirtyRecord
+	// tracked marks VPNs already present in dirty, to keep the list
+	// duplicate-free without scanning.
+	tracked map[uint64]bool
+
+	// Buckets, when set, receives fault-handler CPU time under the
+	// "page faults" label (Tables 1 and 8 accounting).
+	Buckets *sim.TimeBuckets
+}
+
+// NewThread registers a new thread in the address space, running on
+// the given CPU (wraps modulo the CPU count).
+func (as *AddressSpace) NewThread(clock *sim.Clock, cpu int) *Thread {
+	if clock == nil {
+		clock = sim.NewClock()
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	t := &Thread{
+		ID:      len(as.threads),
+		clock:   clock,
+		cpu:     cpu % as.tlbs.NumCPUs(),
+		as:      as,
+		tracked: make(map[uint64]bool),
+	}
+	as.threads = append(as.threads, t)
+	return t
+}
+
+// Clock returns the thread's virtual clock.
+func (t *Thread) Clock() *sim.Clock { return t.clock }
+
+// AddressSpace returns the thread's address space.
+func (t *Thread) AddressSpace() *AddressSpace { return t.as }
+
+// charge advances the thread clock and mirrors the charge into the
+// fault bucket if accounting is enabled.
+func (t *Thread) chargeFault(d time.Duration) {
+	t.clock.Advance(d)
+	if t.Buckets != nil {
+		t.Buckets.Add("page faults", d)
+	}
+}
+
+// translate resolves addr for reading or writing, handling faults.
+// It returns the physical page so callers can access frame data.
+// The address-space lock is held across the fault for simplicity; the
+// paper's point that MemSnap does not *stop other threads* is modeled
+// in the cost model (no ThreadStop charges on this path), not by
+// lock-freedom of the simulator.
+func (t *Thread) translate(addr uint64, write bool) *mem.Page {
+	vpn := addr / PageSize
+	cpu := t.as.tlbs.CPU(t.cpu)
+
+	// TLB hit fast path: free, like hardware.
+	if e, ok := cpu.Lookup(vpn); ok {
+		if !write || e.Writable {
+			return t.as.phys.Page(e.Frame)
+		}
+		// Write to a read-only translation: fall into the fault path.
+	}
+
+	as := t.as
+	as.mu.Lock()
+	defer as.mu.Unlock()
+
+	m := as.findMappingLocked(addr)
+	if m == nil {
+		panic(fmt.Sprintf("vm: segfault at %#x (no mapping)", addr))
+	}
+	pte := as.table.Lookup(vpn)
+	if pte == nil || !pte.Present {
+		// Page-in fault.
+		t.chargeFault(as.costs.MinorFault)
+		as.stats.PageIns++
+		pageIdx := (addr - m.Start) / PageSize
+		var pg *mem.Page
+		if m.SharedPages != nil {
+			pg = m.SharedPages[pageIdx]
+			if pg == nil {
+				pg = as.phys.Alloc(t.clock)
+				m.Backing.PageIn(t.clock, pageIdx, as.phys.Data(pg.Frame()))
+				m.SharedPages[pageIdx] = pg
+			}
+		} else {
+			pg = as.phys.Alloc(t.clock)
+			m.Backing.PageIn(t.clock, pageIdx, as.phys.Data(pg.Frame()))
+		}
+		// Tracked mappings install read-only PTEs (the MemSnap
+		// configuration); untracked install writable directly.
+		pte = as.table.Map(vpn, pg.Frame(), !m.Tracked)
+		pg.AddMapping(mem.ReverseMapping{Owner: as, VPN: vpn})
+		if write && m.Tracked {
+			t.writeFaultLocked(m, vpn, pte)
+		}
+		cpu.Insert(vpn, tlb.Entry{Frame: pte.Frame, Writable: pte.Writable})
+		return as.phys.Page(pte.Frame)
+	}
+
+	if write && !pte.Writable {
+		if !m.Tracked {
+			panic(fmt.Sprintf("vm: write to read-only mapping %q at %#x", m.Name, addr))
+		}
+		t.writeFaultLocked(m, vpn, pte)
+	}
+	cpu.Insert(vpn, tlb.Entry{Frame: pte.Frame, Writable: pte.Writable})
+	return as.phys.Page(pte.Frame)
+}
+
+// writeFaultLocked handles a write to a read-only PTE in a tracked
+// mapping: MemSnap's two fault paths.
+func (t *Thread) writeFaultLocked(m *Mapping, vpn uint64, pte *pagetable.PTE) {
+	as := t.as
+	pg := as.phys.Page(pte.Frame)
+
+	if pg.HasFlag(mem.FlagCheckpointInProgress) {
+		// In-flight COW: duplicate the frame so the checkpoint keeps
+		// an atomic snapshot while the writer proceeds on the copy.
+		t.chargeFault(as.costs.COWFault)
+		as.stats.COWFaults++
+		dup := as.phys.Copy(t.clock, pg)
+		pg.RemoveMapping(as, vpn)
+		dup.AddMapping(mem.ReverseMapping{Owner: as, VPN: vpn})
+		pte.Frame = dup.Frame()
+		pg = dup
+		// Shared mappings must observe the replacement too.
+		if m.SharedPages != nil {
+			m.SharedPages[(vpn*PageSize-m.Start)/PageSize] = dup
+		}
+	} else {
+		// Tracking fault: no copy.
+		t.chargeFault(as.costs.MinorFault)
+		as.stats.TrackingFaults++
+	}
+
+	pte.Writable = true
+	pg.SetFlag(mem.FlagTracked)
+	if !t.tracked[vpn] {
+		t.tracked[vpn] = true
+		t.dirty = append(t.dirty, DirtyRecord{
+			VPN:     vpn,
+			Addr:    vpn * PageSize,
+			PTE:     pte,
+			Page:    pg,
+			Mapping: m,
+		})
+	} else {
+		// The thread re-dirtied a page it already tracks (possible
+		// after an in-flight COW replaced the frame): refresh the
+		// record so the next uCheckpoint flushes the live frame.
+		for i := range t.dirty {
+			if t.dirty[i].VPN == vpn {
+				t.dirty[i].Page = pg
+				t.dirty[i].PTE = pte
+				break
+			}
+		}
+	}
+}
+
+// Write copies data into the address space at addr, faulting as
+// needed. The memcpy cost is charged to the thread clock.
+func (t *Thread) Write(addr uint64, data []byte) {
+	t.clock.Advance(t.as.costs.MemcpyCost(len(data)))
+	for len(data) > 0 {
+		pg := t.translate(addr, true)
+		off := addr % PageSize
+		n := PageSize - off
+		if n > uint64(len(data)) {
+			n = uint64(len(data))
+		}
+		copy(t.as.phys.Data(pg.Frame())[off:], data[:n])
+		addr += n
+		data = data[n:]
+	}
+}
+
+// Read copies bytes out of the address space into buf.
+func (t *Thread) Read(addr uint64, buf []byte) {
+	t.clock.Advance(t.as.costs.MemcpyCost(len(buf)))
+	for len(buf) > 0 {
+		pg := t.translate(addr, false)
+		off := addr % PageSize
+		n := PageSize - off
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		copy(buf[:n], t.as.phys.Data(pg.Frame())[off:])
+		addr += n
+		buf = buf[n:]
+	}
+}
+
+// PageForWrite runs the write-fault machinery for the page containing
+// addr and returns the live frame bytes for direct in-place mutation.
+// Callers must not retain the slice across a Persist (the frame may be
+// replaced by an in-flight COW).
+func (t *Thread) PageForWrite(addr uint64) []byte {
+	pg := t.translate(addr, true)
+	return t.as.phys.Data(pg.Frame())
+}
+
+// PageForRead returns the frame bytes for reading.
+func (t *Thread) PageForRead(addr uint64) []byte {
+	pg := t.translate(addr, false)
+	return t.as.phys.Data(pg.Frame())
+}
+
+// DirtyLen returns the number of pages in the thread's trace buffer.
+func (t *Thread) DirtyLen() int {
+	t.as.mu.Lock()
+	defer t.as.mu.Unlock()
+	return len(t.dirty)
+}
+
+// TakeDirty removes and returns the thread's dirty records, filtered
+// to the given mapping (nil means all mappings). Called under the
+// persist path with the address-space lock NOT held.
+func (t *Thread) TakeDirty(m *Mapping) []DirtyRecord {
+	t.as.mu.Lock()
+	defer t.as.mu.Unlock()
+	return t.takeDirtyLocked(m)
+}
+
+func (t *Thread) takeDirtyLocked(m *Mapping) []DirtyRecord {
+	if m == nil {
+		out := t.dirty
+		t.dirty = nil
+		t.tracked = make(map[uint64]bool)
+		return out
+	}
+	var out, kept []DirtyRecord
+	for _, rec := range t.dirty {
+		if rec.Mapping == m {
+			out = append(out, rec)
+			delete(t.tracked, rec.VPN)
+		} else {
+			kept = append(kept, rec)
+		}
+	}
+	t.dirty = kept
+	return out
+}

@@ -1,0 +1,170 @@
+// Package workload generates the benchmark workloads used in the
+// paper's evaluation: dbbench-style batched KV writes (SQLite §7.1),
+// the TATP telecom mix (Figure 5), Meta's MixGraph (RocksDB §7.2),
+// and sysbench TPC-C (PostgreSQL §7.3).
+//
+// All generators are deterministic from a seed.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"memsnap/internal/sim"
+)
+
+// KV is one key-value pair.
+type KV struct {
+	Key   []byte
+	Value []byte
+}
+
+// DBBench generates key-value writes batched into transactions of a
+// configured byte size — the dbbench workload of §7.1: up to 1M keys
+// with 128-byte values, batched sequentially or randomly into write
+// transactions from 4 KiB to 1 MiB.
+type DBBench struct {
+	// Keys is the key-space size.
+	Keys int64
+	// ValueSize is the value length in bytes (paper: 128).
+	ValueSize int
+	// TxBytes is the transaction size in bytes (paper: 4 KiB-1 MiB).
+	TxBytes int
+	// Random selects random keys; otherwise keys are sequential.
+	Random bool
+
+	rng  *sim.RNG
+	next int64
+}
+
+// NewDBBench returns a generator with the paper's defaults filled in.
+func NewDBBench(seed uint64, keys int64, valueSize, txBytes int, random bool) *DBBench {
+	if keys <= 0 {
+		keys = 1 << 20
+	}
+	if valueSize <= 0 {
+		valueSize = 128
+	}
+	if txBytes <= 0 {
+		txBytes = 4096
+	}
+	return &DBBench{
+		Keys:      keys,
+		ValueSize: valueSize,
+		TxBytes:   txBytes,
+		Random:    random,
+		rng:       sim.NewRNG(seed),
+	}
+}
+
+// PairsPerTx returns how many KV pairs fit one transaction.
+func (d *DBBench) PairsPerTx() int {
+	per := d.TxBytes / (d.ValueSize + 16)
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// NextTx returns the next write transaction's KV pairs.
+func (d *DBBench) NextTx() []KV {
+	n := d.PairsPerTx()
+	kvs := make([]KV, n)
+	for i := range kvs {
+		var id int64
+		if d.Random {
+			id = d.rng.Int63n(d.Keys)
+		} else {
+			id = d.next % d.Keys
+			d.next++
+		}
+		kvs[i] = KV{Key: Key16(id), Value: d.value(id)}
+	}
+	return kvs
+}
+
+func (d *DBBench) value(id int64) []byte {
+	v := make([]byte, d.ValueSize)
+	binary.LittleEndian.PutUint64(v, uint64(id))
+	for i := 8; i < len(v); i++ {
+		v[i] = byte(id + int64(i))
+	}
+	return v
+}
+
+// Key16 renders an id as a fixed-width 16-byte key (sortable).
+func Key16(id int64) []byte {
+	return []byte(fmt.Sprintf("%016d", id))
+}
+
+// MixGraphOp is one operation kind in the MixGraph workload.
+type MixGraphOp int
+
+// MixGraph operation kinds (84% Get, 14% Put, 3% Seek, normalized).
+const (
+	OpGet MixGraphOp = iota
+	OpPut
+	OpSeek
+)
+
+// MixGraph generates Meta's social-graph KV workload: uniformly
+// distributed reads, Pareto-distributed writes, short range scans.
+// Paper parameters: 20M keys, 48-byte keys, 100-byte values.
+type MixGraph struct {
+	Keys      int64
+	KeySize   int
+	ValueSize int
+
+	rng *sim.RNG
+}
+
+// NewMixGraph returns the generator with the paper's parameters as
+// defaults.
+func NewMixGraph(seed uint64, keys int64) *MixGraph {
+	if keys <= 0 {
+		keys = 20 << 20
+	}
+	return &MixGraph{
+		Keys:      keys,
+		KeySize:   48,
+		ValueSize: 100,
+		rng:       sim.NewRNG(seed),
+	}
+}
+
+// MixGraphRequest is one generated operation.
+type MixGraphRequest struct {
+	Op      MixGraphOp
+	Key     []byte
+	Value   []byte // Put only
+	ScanLen int    // Seek only
+}
+
+// Next returns the next request.
+func (m *MixGraph) Next() MixGraphRequest {
+	p := m.rng.Float64() * 101 // 84 + 14 + 3
+	switch {
+	case p < 84:
+		return MixGraphRequest{Op: OpGet, Key: m.key(m.rng.Int63n(m.Keys))}
+	case p < 98:
+		id := m.rng.Pareto(10, 0.2, m.Keys)
+		return MixGraphRequest{Op: OpPut, Key: m.key(id), Value: m.val(id)}
+	default:
+		return MixGraphRequest{Op: OpSeek, Key: m.key(m.rng.Int63n(m.Keys)), ScanLen: 10 + m.rng.Intn(90)}
+	}
+}
+
+func (m *MixGraph) key(id int64) []byte {
+	k := make([]byte, m.KeySize)
+	copy(k, fmt.Sprintf("%024d", id))
+	for i := 24; i < m.KeySize; i++ {
+		k[i] = byte('a' + (id+int64(i))%26)
+	}
+	return k
+}
+
+func (m *MixGraph) val(id int64) []byte {
+	v := make([]byte, m.ValueSize)
+	binary.LittleEndian.PutUint64(v, uint64(id))
+	return v
+}

@@ -1,0 +1,72 @@
+package memsnap_test
+
+import (
+	"testing"
+
+	"memsnap"
+	"memsnap/internal/sim"
+)
+
+// TestQuickstartFlow exercises the documented public API end to end:
+// open, write, persist, crash, recover.
+func TestQuickstartFlow(t *testing.T) {
+	store, err := memsnap.NewStore(memsnap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := store.NewProcess()
+	ctx := proc.NewContext(0)
+	region, err := proc.Open(ctx, "mydata", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.WriteAt(region, 0, []byte("hello"))
+	epoch, err := ctx.Persist(region, memsnap.Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch = %d", epoch)
+	}
+
+	store.Array().CutPower(ctx.Clock().Now(), sim.NewRNG(1))
+	store2, at, err := memsnap.RecoverStore(memsnap.Config{}, store.Array(), ctx.Clock().Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc2 := store2.NewProcess()
+	ctx2 := proc2.NewContext(0)
+	ctx2.Clock().AdvanceTo(at)
+	region2, err := proc2.Open(ctx2, "mydata", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	ctx2.ReadAt(region2, 0, buf)
+	if string(buf) != "hello" {
+		t.Fatalf("recovered %q", buf)
+	}
+}
+
+func TestAsyncFlow(t *testing.T) {
+	store, _ := memsnap.NewStore(memsnap.Config{})
+	proc := store.NewProcess()
+	ctx := proc.NewContext(0)
+	region, _ := proc.Open(ctx, "r", 1<<20)
+	ctx.WriteAt(region, 0, []byte("async"))
+	epoch, err := ctx.Persist(region, memsnap.Async)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Wait(region, epoch)
+	if ctx.OutstandingCheckpoints() != 0 {
+		t.Fatal("outstanding after wait")
+	}
+}
+
+func TestDefaultCostsExposed(t *testing.T) {
+	c := memsnap.DefaultCosts()
+	if c.DiskBaseLatency <= 0 {
+		t.Fatal("cost model empty")
+	}
+}

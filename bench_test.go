@@ -178,6 +178,17 @@ func BenchmarkAblation_WriteAmp(b *testing.B) {
 	runExperiment(b, "ablation-writeamp")
 }
 
+// BenchmarkAblation_GroupCommitBatch regenerates the shard service's
+// group-commit batch ablation: 8-shard throughput with batch caps of
+// 1, 16 and 64 (rows 3-5 of the shardsvc grid).
+func BenchmarkAblation_GroupCommitBatch(b *testing.B) {
+	res := runExperiment(b, "shardsvc")
+	reportCell(b, res, 3, 2, "batch1_kops")
+	reportCell(b, res, 4, 2, "batch16_kops")
+	reportCell(b, res, 5, 2, "batch64_kops")
+	reportCell(b, res, 5, 3, "batch64_occupancy")
+}
+
 // BenchmarkRawPersist4K measures the core uCheckpoint path directly
 // (no experiment harness): one dirty page, synchronous persist.
 func BenchmarkRawPersist4K(b *testing.B) {

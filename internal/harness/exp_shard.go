@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"memsnap/internal/core"
+	"memsnap/internal/shard"
+)
+
+// ShardSvc evaluates the sharded KV serving layer (internal/shard):
+// throughput and group-commit latency across a shard-count x
+// batch-size grid. Each configuration runs 4 client goroutines per
+// shard, each keeping a window of asynchronous requests outstanding so
+// workers can coalesce writes into group commits.
+func ShardSvc(opts Options) (*Result, error) {
+	opts = opts.fill()
+	res := &Result{
+		ID:     "shardsvc",
+		Title:  "Sharded KV service: throughput vs shards x group-commit batch",
+		Header: []string{"Shards", "Batch", "Kops/s", "Occupancy", "Commit p50 (us)", "Commit p99 (us)", "Commits"},
+		Notes: []string{
+			"4 async clients per shard, window of 16 outstanding ops each, 75% Add / 25% Get",
+			fmt.Sprintf("%d ops per client (scale %.2f); throughput over max virtual elapsed across shard workers", opts.scaled(300), opts.Scale),
+			"occupancy is mean write ops coalesced per group commit",
+		},
+	}
+	for _, shards := range []int{4, 8, 16} {
+		for _, batch := range []int{1, 16, 64} {
+			row, err := shardSvcRun(shards, batch, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// shardSvcRun serves one grid cell: a fresh system, a service with the
+// given shard count and batch cap, and 4 clients per shard issuing a
+// windowed async stream of operations.
+func shardSvcRun(shards, batch int, opts Options) ([]string, error) {
+	sys, err := core.NewSystem(core.Options{CPUs: shards, DiskBytesEach: 512 << 20})
+	if err != nil {
+		return nil, err
+	}
+	svc, err := shard.New(sys, shard.Config{Shards: shards, BatchSize: batch})
+	if err != nil {
+		return nil, err
+	}
+
+	const window = 16
+	clients := 4 * shards
+	opsPer := opts.scaled(300)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%02d", c%8)
+			pending := make([]<-chan shard.Response, 0, window)
+			drain := func(keep int) error {
+				for len(pending) > keep {
+					resp := <-pending[0]
+					pending = pending[1:]
+					if resp.Err != nil {
+						return resp.Err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < opsPer; i++ {
+				// Deterministic key walk over a 512-key working set per
+				// tenant; no RNG so runs are reproducible bit-for-bit.
+				key := fmt.Sprintf("k-%04d", (c*7919+i*613)%512)
+				op := shard.Op{Kind: shard.OpAdd, Tenant: tenant, Key: key, Value: 1}
+				if i%4 == 3 {
+					op = shard.Op{Kind: shard.OpGet, Tenant: tenant, Key: key}
+				}
+				ch, err := svc.DoAsync(op)
+				if err != nil {
+					errs <- err
+					return
+				}
+				pending = append(pending, ch)
+				if err := drain(window - 1); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := drain(0); err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	st := svc.TotalStats()
+	if err := svc.Close(); err != nil {
+		return nil, err
+	}
+	kops := 0.0
+	if st.Elapsed > 0 {
+		kops = float64(st.Ops) / st.Elapsed.Seconds() / 1000
+	}
+	return []string{
+		fmt.Sprintf("%d", shards),
+		fmt.Sprintf("%d", batch),
+		fmt.Sprintf("%.1f", kops),
+		fmt.Sprintf("%.1f", st.BatchOccupancy),
+		us(st.CommitLatency.P50),
+		us(st.CommitLatency.P99),
+		fmt.Sprintf("%d", st.Commits),
+	}, nil
+}

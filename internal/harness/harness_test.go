@@ -36,7 +36,8 @@ func parsePct(t *testing.T, cell string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig1", "table5", "table6", "fig3",
-		"table7", "table8", "fig4", "fig5", "table9", "table10", "fig6"}
+		"table7", "table8", "fig4", "fig5", "table9", "table10", "fig6",
+		"shardsvc"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %s missing from registry", id)
@@ -366,5 +367,34 @@ func TestHelpers(t *testing.T) {
 	}
 	if fmtSize(4096) != "4 KiB" || fmtSize(1<<20) != "1 MiB" {
 		t.Fatal("fmtSize")
+	}
+}
+
+func TestShardSvcShape(t *testing.T) {
+	res, err := ShardSvc(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("shardsvc grid has %d rows, want 9 (3 shard counts x 3 batch sizes)", len(res.Rows))
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		return v
+	}
+	// Rows 3-5 are the 8-shard series: batch 1, 16, 64. Group commit
+	// must beat per-op commits on throughput and coalesce >1 write.
+	kops1, kops64 := parse(res.Rows[3][2]), parse(res.Rows[5][2])
+	if kops64 <= kops1 {
+		t.Fatalf("batch=64 throughput %.1f not above batch=1 %.1f", kops64, kops1)
+	}
+	if occ := parse(res.Rows[4][3]); occ <= 1.0 {
+		t.Fatalf("batch=16 occupancy %.1f, want > 1", occ)
+	}
+	if occ := parse(res.Rows[3][3]); occ != 1.0 {
+		t.Fatalf("batch=1 occupancy %.1f, want exactly 1", occ)
 	}
 }

@@ -82,16 +82,18 @@ func (b *Backend) getBuffer(rel string, pageNo uint32) *buffer {
 	key := bufKey{rel, pageNo}
 	c.mu.Lock()
 	buf := c.buffers[key]
-	if buf == nil {
+	miss := buf == nil
+	if miss {
 		buf = &buffer{data: make([]byte, HeapPageSize)}
 		c.buffers[key] = buf
-		c.mu.Unlock()
-		b.clk.Advance(c.costs.BufferCacheInsert)
-		b.readPageFromStorage(rel, pageNo, buf.data)
-		return buf
 	}
 	c.mu.Unlock()
-	b.clk.Advance(c.costs.BufferCacheLookup)
+	if miss {
+		b.clk.Advance(c.costs.BufferCacheInsert)
+	} else {
+		b.clk.Advance(c.costs.BufferCacheLookup)
+	}
+	buf.fill.Do(func() { b.readPageFromStorage(rel, pageNo, buf.data) })
 	return buf
 }
 
@@ -136,7 +138,10 @@ func (b *Backend) pageForWrite(rel string, pageNo uint32) []byte {
 		panic("pgdb: write outside transaction")
 	}
 	buf := b.getBuffer(rel, pageNo)
+	c := b.c
+	c.contentMu.Lock()
 	buf.dirty = true
+	c.contentMu.Unlock()
 	b.touched[bufKey{rel, pageNo}] = true
 	return buf.data
 }
@@ -169,8 +174,14 @@ func (b *Backend) Insert(rel string, payload []byte) (TID, error) {
 			continue
 		}
 		p := b.pageForWrite(rel, pageNo-1)
-		if heapFits(p, payload) {
-			slot := heapInsert(p, b.xid, payload)
+		c.contentMu.Lock()
+		fits := heapFits(p, payload)
+		var slot uint16
+		if fits {
+			slot = heapInsert(p, b.xid, payload)
+		}
+		c.contentMu.Unlock()
+		if fits {
 			b.logTuple(rel, pageNo-1, payload)
 			b.clk.Advance(c.costs.MemcpyCost(len(payload)))
 			return TID{Page: pageNo - 1, Slot: slot}, nil
@@ -189,7 +200,9 @@ func (b *Backend) extendHeap(rel string) uint32 {
 	pageNo := r.pages
 	c.mu.Unlock()
 	p := b.pageForWrite(rel, pageNo-1)
+	c.contentMu.Lock()
 	heapInit(p)
+	c.contentMu.Unlock()
 	return pageNo
 }
 
@@ -198,12 +211,15 @@ func (b *Backend) extendHeap(rel string) uint32 {
 func (b *Backend) Fetch(rel string, tid TID) ([]byte, bool) {
 	b.clk.Advance(b.c.costs.PGExecutorPerRowOp)
 	p := b.pageForRead(rel, tid.Page)
+	b.c.contentMu.Lock()
 	xmin, xmax, payload := heapTuple(p, tid.Slot)
+	payload = append([]byte(nil), payload...)
+	b.c.contentMu.Unlock()
 	if !b.visible(xmin, xmax) {
 		return nil, false
 	}
 	b.clk.Advance(b.c.costs.MemcpyCost(len(payload)))
-	return append([]byte(nil), payload...), true
+	return payload, true
 }
 
 // visible implements read-committed MVCC visibility.
@@ -227,7 +243,9 @@ func (b *Backend) visible(xmin, xmax uint32) bool {
 func (b *Backend) Update(rel string, tid TID, payload []byte) (TID, error) {
 	b.clk.Advance(b.c.costs.PGExecutorPerRowOp)
 	p := b.pageForWrite(rel, tid.Page)
+	b.c.contentMu.Lock()
 	heapSetXmax(p, tid.Slot, b.xid)
+	b.c.contentMu.Unlock()
 	b.logTuple(rel, tid.Page, nil)
 	return b.Insert(rel, payload)
 }
@@ -258,7 +276,10 @@ func (b *Backend) logTuple(rel string, pageNo uint32, payload []byte) {
 		c.mu.Unlock()
 		if !logged {
 			img := make([]byte, HeapPageSize)
-			copy(img, b.pageForRead(rel, pageNo))
+			p := b.pageForRead(rel, pageNo)
+			c.contentMu.Lock()
+			copy(img, p)
+			c.contentMu.Unlock()
 			b.walRecs = append(b.walRecs, img)
 		}
 	case VarMmapBufDirect:
@@ -283,6 +304,7 @@ func (b *Backend) Commit() {
 		// region, so MemSnap's tracking gives this granularity for
 		// free.)
 		const osPage = HeapPageSize / 2
+		c.contentMu.Lock()
 		for key := range b.touched {
 			region := b.regionFor(key.rel)
 			buf := b.getBuffer(key.rel, key.page)
@@ -299,6 +321,7 @@ func (b *Backend) Commit() {
 				copy(buf.shadow[lo:hi], buf.data[lo:hi])
 			}
 		}
+		c.contentMu.Unlock()
 		if _, err := b.ctx.Persist(nil, core.MSSync); err != nil {
 			panic(err)
 		}
@@ -307,7 +330,10 @@ func (b *Backend) Commit() {
 		if c.variant == VarMmapBufDirect {
 			for key := range b.touched {
 				img := make([]byte, HeapPageSize)
-				copy(img, b.pageForRead(key.rel, key.page))
+				p := b.pageForRead(key.rel, key.page)
+				c.contentMu.Lock()
+				copy(img, p)
+				c.contentMu.Unlock()
 				b.walRecs = append(b.walRecs, img)
 			}
 		}
@@ -358,6 +384,7 @@ func (b *Backend) checkpoint() {
 	if c.log.Size() < c.checkpointAt {
 		return // another backend got here first
 	}
+	c.contentMu.Lock()
 	c.mu.Lock()
 	type flush struct {
 		key bufKey
@@ -382,6 +409,7 @@ func (b *Backend) checkpoint() {
 		file.Write(b.clk, int64(f.key.page)*HeapPageSize, f.buf.data)
 		touchedRels[f.key.rel] = true
 	}
+	c.contentMu.Unlock()
 	for rel := range touchedRels {
 		c.mu.Lock()
 		file := c.files[rel]

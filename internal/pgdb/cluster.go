@@ -54,6 +54,9 @@ type bufKey struct {
 }
 
 type buffer struct {
+	// fill reads the page from storage exactly once, after the buffer
+	// is published in the cache map; racing lookups block on it.
+	fill  sync.Once
 	data  []byte
 	dirty bool
 	// shadow holds the last region-committed image (MemSnap variant)
@@ -86,6 +89,12 @@ type Cluster struct {
 	mu        sync.Mutex
 	relations map[string]*relation
 	buffers   map[bufKey]*buffer
+
+	// contentMu is PostgreSQL's per-buffer content locks, coarsened to
+	// one lock: it guards heap page bytes plus the dirty/shadow fields
+	// of every buffer. mu only guards the maps above. Lock ordering:
+	// contentMu before mu; never the reverse.
+	contentMu sync.Mutex
 
 	// lockmgr serializes commits and checkpoints (PostgreSQL's WAL
 	// insert lock, heavily simplified).

@@ -1,0 +1,496 @@
+// Package shard implements a sharded, multi-tenant key-value service
+// on top of the MemSnap core — the repository's first serving
+// subsystem. A router hashes (tenant, key) pairs across N shards; each
+// shard owns one MemSnap region, one dedicated worker Context, and a
+// bounded request queue. Workers coalesce many client writes into one
+// group-commit uCheckpoint per batch (MSAsync + Wait overlaps the IO
+// of batch k with the in-memory application of batch k+1), apply
+// backpressure when queues fill, and export per-shard statistics.
+//
+// Durability contract: a write operation's response is delivered only
+// after the group commit containing it is durable, so every
+// acknowledged write survives any later power cut. Each shard region
+// carries a manifest page committed atomically with the data it
+// describes; reopening the service after a crash recovers every shard
+// to its last durable epoch and cross-checks the manifest against a
+// full scan of the shard's records.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memsnap/internal/core"
+	"memsnap/internal/objstore"
+)
+
+// Service errors.
+var (
+	// ErrBackpressure is returned by TryDo when the target shard's
+	// queue is full (admission control).
+	ErrBackpressure = errors.New("shard: queue full")
+	// ErrClosed is returned for operations submitted after Close.
+	ErrClosed = errors.New("shard: service closed")
+	// ErrKeyTooLong is returned when tenant+key exceeds MaxKeyLen.
+	ErrKeyTooLong = errors.New("shard: tenant+key too long")
+	// ErrCrossShard is returned by Transfer when the two keys hash to
+	// different shards (cross-shard transactions are not supported).
+	ErrCrossShard = errors.New("shard: keys on different shards")
+	// ErrShardFull is returned when a shard's slot table is at its
+	// occupancy limit.
+	ErrShardFull = errors.New("shard: table full")
+	// ErrInsufficient is returned by Transfer when the source key is
+	// missing or its balance is below the transfer amount.
+	ErrInsufficient = errors.New("shard: insufficient balance")
+)
+
+// OpKind selects a service operation.
+type OpKind int
+
+const (
+	// OpGet reads a key. Responds immediately after apply (reads need
+	// no durability wait).
+	OpGet OpKind = iota
+	// OpPut sets a key to a value. Acknowledged when durable.
+	OpPut
+	// OpAdd increments a key by a delta (creating it at the delta).
+	OpAdd
+	// OpDelete removes a key.
+	OpDelete
+	// OpTransfer atomically moves Value from Key to Key2 of the same
+	// tenant. Both keys must route to the same shard; the transfer is
+	// applied within one batch, so every durable epoch preserves the
+	// shard's value sum.
+	OpTransfer
+	// opSum is internal: it reads the shard's manifest counters
+	// through the worker, serialized with applies.
+	opSum
+)
+
+// Op is one client request.
+type Op struct {
+	Kind   OpKind
+	Tenant string
+	Key    string
+	Key2   string // OpTransfer destination
+	Value  uint64 // OpPut value / OpAdd delta / OpTransfer amount
+}
+
+// Response is the outcome of one Op.
+type Response struct {
+	// Value is the read value (OpGet), the post-increment value
+	// (OpAdd), the deleted value (OpDelete), or the shard value sum
+	// (internal sum probe).
+	Value uint64
+	// Found reports key presence for OpGet/OpDelete.
+	Found bool
+	// Epoch is the uCheckpoint epoch that made a write durable.
+	Epoch objstore.Epoch
+	// Err is the per-operation error, if any.
+	Err error
+}
+
+// Config sizes the service.
+type Config struct {
+	// Shards is the number of independent shards (default 8).
+	Shards int
+	// QueueDepth bounds each shard's request queue (default 256);
+	// TryDo fails with ErrBackpressure when the queue is full.
+	QueueDepth int
+	// BatchSize caps the number of requests coalesced into one group
+	// commit (default 16).
+	BatchSize int
+	// CommitInterval, when positive, makes a worker linger that much
+	// virtual time with a non-full batch before committing, giving
+	// concurrent clients a window to join the group commit.
+	CommitInterval time.Duration
+	// RegionBytes is the per-shard region size (default 4 MiB).
+	RegionBytes int64
+	// StartAt positions worker clocks at a virtual time, e.g. the
+	// recovery completion time returned by core.Recover.
+	StartAt time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.RegionBytes <= 0 {
+		c.RegionBytes = 4 << 20
+	}
+}
+
+// ShardRecovery describes the state one shard was opened in.
+type ShardRecovery struct {
+	Shard int
+	// Existing is true when the shard region pre-existed (reopen
+	// after crash or restart) rather than being freshly formatted.
+	Existing bool
+	// Epoch is the durable epoch the shard recovered to.
+	Epoch objstore.Epoch
+	// Applied, Records, ValueSum are the manifest counters at open.
+	Applied  uint64
+	Records  uint64
+	ValueSum uint64
+	// ScanRecords and ScanSum are recomputed from the slot data; a
+	// consistent recovery has them equal to the manifest counters.
+	ScanRecords uint64
+	ScanSum     uint64
+}
+
+// Consistent reports whether the manifest matches the scanned data.
+func (r ShardRecovery) Consistent() bool {
+	return r.Records == r.ScanRecords && r.ValueSum == r.ScanSum
+}
+
+// Service is the sharded KV front end.
+type Service struct {
+	cfg    Config
+	sys    *core.System
+	proc   *core.Process
+	shards []*shard
+
+	recovery []ShardRecovery
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	closeMu sync.Mutex
+}
+
+// request is an Op plus its response channel. ack buffers a write's
+// apply-time response until its group commit is durable.
+type request struct {
+	op   Op
+	resp chan Response
+	ack  Response
+}
+
+// regionName returns the fixed region name for a shard.
+func regionName(i int) string { return fmt.Sprintf("shardsvc/%03d", i) }
+
+// New opens the service over a MemSnap system, formatting fresh shard
+// regions or recovering existing ones. When regions pre-exist (e.g.
+// after core.Recover), every shard is reopened at its last durable
+// epoch and its manifest is cross-checked against a full scan; the
+// reports are available via Recovery().
+//
+// Workers run on CPUs shard-id modulo the system CPU count; configure
+// the system with at least Shards CPUs to give each worker a private
+// TLB, as a real deployment would.
+func New(sys *core.System, cfg Config) (*Service, error) {
+	s, err := open(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.start()
+	return s, nil
+}
+
+// open builds the service and formats/recovers every shard without
+// starting the workers. Split from New so tests can exercise queue
+// admission deterministically.
+func open(sys *core.System, cfg Config) (*Service, error) {
+	cfg.fill()
+	if tableSlots(cfg.RegionBytes) == 0 {
+		return nil, fmt.Errorf("shard: RegionBytes %d too small", cfg.RegionBytes)
+	}
+	s := &Service{
+		cfg:  cfg,
+		sys:  sys,
+		proc: sys.NewProcess(),
+		stop: make(chan struct{}),
+	}
+
+	existing := make(map[string]bool)
+	for _, name := range sys.RegionNames() {
+		existing[name] = true
+	}
+
+	for i := 0; i < cfg.Shards; i++ {
+		ctx := s.proc.NewContext(i)
+		ctx.Clock().AdvanceTo(cfg.StartAt)
+		pre := existing[regionName(i)]
+		region, err := s.proc.Open(ctx, regionName(i), cfg.RegionBytes)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{
+			id:        i,
+			svc:       s,
+			ctx:       ctx,
+			region:    region,
+			tab:       table{ctx: ctx, region: region},
+			queue:     make(chan *request, cfg.QueueDepth),
+			commitLat: newLatency(),
+			startedAt: ctx.Clock().Now(),
+		}
+		rec := ShardRecovery{Shard: i, Existing: pre}
+		if pre {
+			if err := sh.tab.load(i, cfg.Shards, cfg.RegionBytes); err != nil {
+				return nil, err
+			}
+			rec.Epoch = region.Epoch()
+			rec.Applied = sh.tab.man.applied
+			rec.Records = sh.tab.man.live
+			rec.ValueSum = sh.tab.man.sum
+			rec.ScanRecords, rec.ScanSum = sh.tab.scan()
+		} else {
+			sh.tab.format(i, cfg.Shards, cfg.RegionBytes)
+			// Make the empty manifest durable immediately so a crash
+			// before the first client write still recovers an
+			// initialized shard.
+			epoch, err := ctx.Persist(region, core.MSSync)
+			if err != nil {
+				return nil, err
+			}
+			rec.Epoch = epoch
+		}
+		s.shards = append(s.shards, sh)
+		s.recovery = append(s.recovery, rec)
+	}
+	return s, nil
+}
+
+// start launches one worker goroutine per shard.
+func (s *Service) start() {
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.run()
+	}
+}
+
+// Recovery returns each shard's open-time recovery report.
+func (s *Service) Recovery() []ShardRecovery {
+	return append([]ShardRecovery(nil), s.recovery...)
+}
+
+// NumShards returns the shard count.
+func (s *Service) NumShards() int { return len(s.shards) }
+
+// fnv1a hashes the composed tenant+key.
+func fnv1a(tenant, key string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(tenant); i++ {
+		h = (h ^ uint64(tenant[i])) * prime
+	}
+	h = (h ^ 0) * prime // tenant/key separator
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime
+	}
+	return h
+}
+
+// ShardOf returns the shard a key routes to.
+func (s *Service) ShardOf(tenant, key string) int {
+	// Shard selection uses the high hash bits; slot probing uses the
+	// full hash, so co-sharded keys do not collide into one chain.
+	return int((fnv1a(tenant, key) >> 48) % uint64(len(s.shards)))
+}
+
+// composeKey builds the region-resident key bytes for (tenant, key).
+func composeKey(tenant, key string) ([]byte, error) {
+	if len(tenant)+1+len(key) > MaxKeyLen {
+		return nil, ErrKeyTooLong
+	}
+	b := make([]byte, 0, len(tenant)+1+len(key))
+	b = append(b, tenant...)
+	b = append(b, 0)
+	b = append(b, key...)
+	return b, nil
+}
+
+// route validates op and picks its shard.
+func (s *Service) route(op Op) (*shard, error) {
+	if op.Kind != opSum {
+		if _, err := composeKey(op.Tenant, op.Key); err != nil {
+			return nil, err
+		}
+	}
+	sh := s.shards[s.ShardOf(op.Tenant, op.Key)]
+	if op.Kind == OpTransfer {
+		if _, err := composeKey(op.Tenant, op.Key2); err != nil {
+			return nil, err
+		}
+		if s.ShardOf(op.Tenant, op.Key2) != sh.id {
+			return nil, ErrCrossShard
+		}
+	}
+	return sh, nil
+}
+
+// DoAsync submits op and returns a channel that will receive its
+// response: immediately after apply for reads, after the group commit
+// is durable for writes. It blocks while the shard queue is full.
+func (s *Service) DoAsync(op Op) (<-chan Response, error) {
+	sh, err := s.route(op)
+	if err != nil {
+		return nil, err
+	}
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	r := &request{op: op, resp: make(chan Response, 1)}
+	sh.noteDepth(len(sh.queue) + 1)
+	select {
+	case sh.queue <- r:
+		return r.resp, nil
+	case <-s.stop:
+		return nil, ErrClosed
+	}
+}
+
+// TryDoAsync is DoAsync with admission control: when the shard queue
+// is full it rejects the op with ErrBackpressure instead of blocking.
+func (s *Service) TryDoAsync(op Op) (<-chan Response, error) {
+	sh, err := s.route(op)
+	if err != nil {
+		return nil, err
+	}
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	r := &request{op: op, resp: make(chan Response, 1)}
+	select {
+	case sh.queue <- r:
+		sh.noteDepth(len(sh.queue))
+		return r.resp, nil
+	default:
+		sh.rejected.Add(1)
+		return nil, ErrBackpressure
+	}
+}
+
+// Do submits op and waits for its response.
+func (s *Service) Do(op Op) Response {
+	ch, err := s.DoAsync(op)
+	if err != nil {
+		return Response{Err: err}
+	}
+	return <-ch
+}
+
+// TryDo is Do with admission control (ErrBackpressure when full).
+func (s *Service) TryDo(op Op) (Response, error) {
+	ch, err := s.TryDoAsync(op)
+	if err != nil {
+		return Response{}, err
+	}
+	return <-ch, nil
+}
+
+// Put durably sets tenant/key to value.
+func (s *Service) Put(tenant, key string, value uint64) error {
+	return s.Do(Op{Kind: OpPut, Tenant: tenant, Key: key, Value: value}).Err
+}
+
+// Get reads tenant/key.
+func (s *Service) Get(tenant, key string) (uint64, bool, error) {
+	r := s.Do(Op{Kind: OpGet, Tenant: tenant, Key: key})
+	return r.Value, r.Found, r.Err
+}
+
+// Add durably increments tenant/key by delta, returning the new value.
+func (s *Service) Add(tenant, key string, delta uint64) (uint64, error) {
+	r := s.Do(Op{Kind: OpAdd, Tenant: tenant, Key: key, Value: delta})
+	return r.Value, r.Err
+}
+
+// Delete durably removes tenant/key.
+func (s *Service) Delete(tenant, key string) (bool, error) {
+	r := s.Do(Op{Kind: OpDelete, Tenant: tenant, Key: key})
+	return r.Found, r.Err
+}
+
+// Transfer durably moves amount from one key to another of the same
+// tenant. Both keys must route to the same shard; the two updates are
+// applied in one batch so every durable epoch preserves the shard's
+// value sum.
+func (s *Service) Transfer(tenant, from, to string, amount uint64) error {
+	return s.Do(Op{Kind: OpTransfer, Tenant: tenant, Key: from, Key2: to, Value: amount}).Err
+}
+
+// ShardSums reads every shard's manifest value sum through its worker
+// queue, serialized with in-flight applies.
+func (s *Service) ShardSums() ([]uint64, error) {
+	sums := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		r := &request{op: Op{Kind: opSum}, resp: make(chan Response, 1)}
+		select {
+		case sh.queue <- r:
+		case <-s.stop:
+			return nil, ErrClosed
+		}
+		resp := <-r.resp
+		if resp.Err != nil {
+			return nil, resp.Err
+		}
+		sums[i] = resp.Value
+	}
+	return sums, nil
+}
+
+// TotalValueSum returns the wrapping sum of all live values across
+// every shard.
+func (s *Service) TotalValueSum() (uint64, error) {
+	sums, err := s.ShardSums()
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for _, v := range sums {
+		total += v
+	}
+	return total, nil
+}
+
+// Close drains every shard, group-commits any buffered writes
+// synchronously, and stops the workers. Operations submitted after
+// Close fail with ErrClosed; Close must not race with in-flight
+// Submit calls from other goroutines (join clients first, as with
+// net/http.Server).
+func (s *Service) Close() error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed.Swap(true) {
+		return nil
+	}
+	close(s.stop)
+	s.wg.Wait()
+	// Reject any request that slipped into a queue after the workers
+	// drained it.
+	for _, sh := range s.shards {
+	drain:
+		for {
+			select {
+			case r := <-sh.queue:
+				r.resp <- Response{Err: ErrClosed}
+			default:
+				break drain
+			}
+		}
+	}
+	return nil
+}
+
+// EndTime returns the latest virtual time across shard workers — the
+// service's wall-clock analogue for throughput computations.
+func (s *Service) EndTime() time.Duration {
+	var end time.Duration
+	for _, sh := range s.shards {
+		if t := sh.ctx.Clock().Now(); t > end {
+			end = t
+		}
+	}
+	return end
+}

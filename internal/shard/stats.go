@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"time"
+
+	"memsnap/internal/sim"
+)
+
+// ShardStats is a snapshot of one shard's serving statistics. All
+// durations are virtual time.
+type ShardStats struct {
+	Shard int
+	// Ops/Reads/Writes count applied operations (writes only count
+	// successfully applied, durably acknowledged mutations).
+	Ops, Reads, Writes int64
+	// Commits counts group commits; BatchOccupancy is the mean number
+	// of write ops coalesced per commit.
+	Commits        int64
+	BatchOccupancy float64
+	// CommitLatency summarizes per-batch latency from first apply to
+	// durability (the writer-visible group-commit ack latency).
+	CommitLatency sim.Summary
+	// QueueHighWater is the deepest queue observed at submit time;
+	// Rejected counts TryDo admissions refused with ErrBackpressure.
+	QueueHighWater int
+	Rejected       int64
+	// Elapsed is the worker's virtual time since the service opened;
+	// LastCommitSubmit/LastCommitDurable bracket the most recent
+	// group commit's IO (used by crash-injection tests to cut power
+	// mid-commit).
+	Elapsed           time.Duration
+	LastCommitSubmit  time.Duration
+	LastCommitDurable time.Duration
+}
+
+// Stats snapshots every shard's statistics. Safe to call while the
+// service is running.
+func (s *Service) Stats() []ShardStats {
+	out := make([]ShardStats, 0, len(s.shards))
+	for _, sh := range s.shards {
+		sh.statsMu.Lock()
+		st := ShardStats{
+			Shard:             sh.id,
+			Ops:               sh.ops,
+			Reads:             sh.reads,
+			Writes:            sh.writes,
+			Commits:           sh.commits,
+			CommitLatency:     sh.commitLat.Summarize(),
+			LastCommitSubmit:  sh.lastSubmit,
+			LastCommitDurable: sh.lastDur,
+			Elapsed:           sh.ctx.Clock().Now() - sh.startedAt,
+		}
+		if sh.commits > 0 {
+			st.BatchOccupancy = float64(sh.batchOps) / float64(sh.commits)
+		}
+		sh.statsMu.Unlock()
+		st.QueueHighWater = int(sh.queueHW.Load())
+		st.Rejected = sh.rejected.Load()
+		out = append(out, st)
+	}
+	return out
+}
+
+// TotalStats aggregates shard statistics into one service-wide view:
+// counters sum, latency recorders merge, occupancy averages weighted
+// by commits, and Elapsed is the max across shards.
+func (s *Service) TotalStats() ShardStats {
+	merged := sim.NewLatencyRecorder()
+	var total ShardStats
+	total.Shard = -1
+	for _, sh := range s.shards {
+		sh.statsMu.Lock()
+		total.Ops += sh.ops
+		total.Reads += sh.reads
+		total.Writes += sh.writes
+		total.Commits += sh.commits
+		total.BatchOccupancy += float64(sh.batchOps)
+		merged.Merge(sh.commitLat)
+		if e := sh.ctx.Clock().Now() - sh.startedAt; e > total.Elapsed {
+			total.Elapsed = e
+		}
+		if sh.lastSubmit > total.LastCommitSubmit {
+			total.LastCommitSubmit = sh.lastSubmit
+		}
+		if sh.lastDur > total.LastCommitDurable {
+			total.LastCommitDurable = sh.lastDur
+		}
+		sh.statsMu.Unlock()
+		if hw := int(sh.queueHW.Load()); hw > total.QueueHighWater {
+			total.QueueHighWater = hw
+		}
+		total.Rejected += sh.rejected.Load()
+	}
+	if total.Commits > 0 {
+		total.BatchOccupancy /= float64(total.Commits)
+	} else {
+		total.BatchOccupancy = 0
+	}
+	total.CommitLatency = merged.Summarize()
+	return total
+}

@@ -1,0 +1,263 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"memsnap/internal/core"
+)
+
+// Per-shard region layout. Page 0 is the shard manifest; every
+// following page is an array of fixed-size hash slots. Because the
+// manifest page is dirtied in the same group commit as the slot pages
+// it describes, a uCheckpoint always carries a mutually consistent
+// (manifest, data) pair: recovery lands on the region's last durable
+// epoch and the manifest counters exactly describe the slot contents.
+const (
+	// headerMagic identifies an initialized shard region ("MSHARD1\0").
+	headerMagic uint64 = 0x0031_4452_4148_534d
+
+	// slotSize is the on-region footprint of one key-value slot.
+	slotSize = 64
+	// MaxKeyLen bounds the composed tenant+key byte length.
+	MaxKeyLen    = 40
+	slotsPerPage = core.PageSize / slotSize
+
+	// slot state byte values.
+	slotEmpty = 0
+	slotLive  = 1
+	slotDead  = 2 // tombstone: keeps probe chains intact after Delete
+)
+
+// Manifest page field offsets (all little-endian).
+const (
+	hdrMagic   = 0  // u64
+	hdrShardID = 8  // u32
+	hdrShards  = 12 // u32 total shard count, guards against resharding
+	hdrSlots   = 16 // u64 slot capacity
+	hdrLive    = 24 // u64 live records
+	hdrFills   = 32 // u64 live + tombstone slots (probe-chain occupancy)
+	hdrApplied = 40 // u64 write operations applied since format
+	hdrSum     = 48 // u64 wrapping sum of all live values
+	hdrCommits = 56 // u64 group commits since format
+)
+
+// Slot field offsets within the 64-byte slot.
+const (
+	slotState = 0  // u8
+	slotKLen  = 1  // u8
+	slotKey   = 8  // MaxKeyLen bytes
+	slotValue = 48 // u64
+)
+
+// manifest is the in-memory copy of the header page counters. The
+// worker mutates the copy per operation and writes it back to page 0
+// once per batch, so the header costs one dirty page per group commit.
+type manifest struct {
+	shardID uint32
+	shards  uint32
+	slots   uint64
+	live    uint64
+	fills   uint64
+	applied uint64
+	sum     uint64
+	commits uint64
+}
+
+// table gives one shard's worker typed access to its region. It is
+// confined to the worker goroutine: all page access goes through the
+// worker's Context so faults and costs land on the worker's clock.
+type table struct {
+	ctx    *core.Context
+	region *core.Region
+	man    manifest
+}
+
+// tableSlots returns the slot capacity of a region of regionBytes.
+func tableSlots(regionBytes int64) uint64 {
+	pages := regionBytes / core.PageSize
+	if pages < 2 {
+		return 0
+	}
+	return uint64(pages-1) * slotsPerPage
+}
+
+// format initializes a fresh shard region's manifest in memory. The
+// caller persists it via the first group commit.
+func (t *table) format(shardID, shards int, regionBytes int64) {
+	t.man = manifest{
+		shardID: uint32(shardID),
+		shards:  uint32(shards),
+		slots:   tableSlots(regionBytes),
+	}
+	t.writeManifest()
+}
+
+// load reads and validates the manifest of an existing shard region.
+func (t *table) load(shardID, shards int, regionBytes int64) error {
+	pg := t.ctx.PageForRead(t.region, 0)
+	if binary.LittleEndian.Uint64(pg[hdrMagic:]) != headerMagic {
+		return fmt.Errorf("shard %d: region %q has no valid manifest", shardID, t.region.Name())
+	}
+	t.man = manifest{
+		shardID: binary.LittleEndian.Uint32(pg[hdrShardID:]),
+		shards:  binary.LittleEndian.Uint32(pg[hdrShards:]),
+		slots:   binary.LittleEndian.Uint64(pg[hdrSlots:]),
+		live:    binary.LittleEndian.Uint64(pg[hdrLive:]),
+		fills:   binary.LittleEndian.Uint64(pg[hdrFills:]),
+		applied: binary.LittleEndian.Uint64(pg[hdrApplied:]),
+		sum:     binary.LittleEndian.Uint64(pg[hdrSum:]),
+		commits: binary.LittleEndian.Uint64(pg[hdrCommits:]),
+	}
+	if int(t.man.shardID) != shardID {
+		return fmt.Errorf("shard %d: region %q belongs to shard %d", shardID, t.region.Name(), t.man.shardID)
+	}
+	if int(t.man.shards) != shards {
+		return fmt.Errorf("shard %d: region formatted for %d shards, service configured for %d (resharding unsupported)",
+			shardID, t.man.shards, shards)
+	}
+	if want := tableSlots(regionBytes); t.man.slots != want {
+		return fmt.Errorf("shard %d: region has %d slots, config implies %d", shardID, t.man.slots, want)
+	}
+	return nil
+}
+
+// writeManifest flushes the in-memory manifest to page 0, dirtying it
+// into the worker's current uCheckpoint.
+func (t *table) writeManifest() {
+	pg := t.ctx.PageForWrite(t.region, 0)
+	binary.LittleEndian.PutUint64(pg[hdrMagic:], headerMagic)
+	binary.LittleEndian.PutUint32(pg[hdrShardID:], t.man.shardID)
+	binary.LittleEndian.PutUint32(pg[hdrShards:], t.man.shards)
+	binary.LittleEndian.PutUint64(pg[hdrSlots:], t.man.slots)
+	binary.LittleEndian.PutUint64(pg[hdrLive:], t.man.live)
+	binary.LittleEndian.PutUint64(pg[hdrFills:], t.man.fills)
+	binary.LittleEndian.PutUint64(pg[hdrApplied:], t.man.applied)
+	binary.LittleEndian.PutUint64(pg[hdrSum:], t.man.sum)
+	binary.LittleEndian.PutUint64(pg[hdrCommits:], t.man.commits)
+}
+
+// slotPage returns (page offset, byte offset within page) for slot i.
+func slotPos(i uint64) (int64, int) {
+	return int64(1+i/slotsPerPage) * core.PageSize, int(i%slotsPerPage) * slotSize
+}
+
+// probe walks the open-addressing chain for key. It returns the slot
+// index of the live match, or the first insertable slot (empty or
+// tombstone) when the key is absent, with found=false. ok=false means
+// the table's probe chain is saturated.
+func (t *table) probe(h uint64, key []byte) (idx uint64, found, ok bool) {
+	insertAt := uint64(0)
+	haveInsert := false
+	for step := uint64(0); step < t.man.slots; step++ {
+		i := (h + step) % t.man.slots
+		pageOff, off := slotPos(i)
+		pg := t.ctx.PageForRead(t.region, pageOff)
+		switch pg[off+slotState] {
+		case slotEmpty:
+			if !haveInsert {
+				insertAt, haveInsert = i, true
+			}
+			return insertAt, false, true
+		case slotDead:
+			if !haveInsert {
+				insertAt, haveInsert = i, true
+			}
+		case slotLive:
+			klen := int(pg[off+slotKLen])
+			if klen == len(key) && bytes.Equal(pg[off+slotKey:off+slotKey+klen], key) {
+				return i, true, true
+			}
+		}
+	}
+	return insertAt, false, haveInsert
+}
+
+// get returns the value stored under key.
+func (t *table) get(h uint64, key []byte) (uint64, bool) {
+	idx, found, _ := t.probe(h, key)
+	if !found {
+		return 0, false
+	}
+	pageOff, off := slotPos(idx)
+	pg := t.ctx.PageForRead(t.region, pageOff)
+	return binary.LittleEndian.Uint64(pg[off+slotValue:]), true
+}
+
+// put inserts or overwrites key. It returns the previous value (0 if
+// absent) and whether the key existed, updating the manifest counters
+// and wrapping value sum.
+func (t *table) put(h uint64, key []byte, value uint64) (prev uint64, existed bool, err error) {
+	idx, found, ok := t.probe(h, key)
+	if !ok {
+		return 0, false, ErrShardFull
+	}
+	// Cap occupancy at 3/4 so probe chains stay short; tombstone reuse
+	// does not grow fills.
+	pageOff, off := slotPos(idx)
+	if !found {
+		rpg := t.ctx.PageForRead(t.region, pageOff)
+		if rpg[off+slotState] == slotEmpty && (t.man.fills+1)*4 > t.man.slots*3 {
+			return 0, false, ErrShardFull
+		}
+	}
+	pg := t.ctx.PageForWrite(t.region, pageOff)
+	if found {
+		prev = binary.LittleEndian.Uint64(pg[off+slotValue:])
+		existed = true
+	} else {
+		if pg[off+slotState] == slotEmpty {
+			t.man.fills++
+		}
+		pg[off+slotState] = slotLive
+		pg[off+slotKLen] = byte(len(key))
+		copy(pg[off+slotKey:off+slotKey+MaxKeyLen], make([]byte, MaxKeyLen))
+		copy(pg[off+slotKey:], key)
+		t.man.live++
+	}
+	binary.LittleEndian.PutUint64(pg[off+slotValue:], value)
+	t.man.sum += value - prev // wrapping arithmetic keeps the invariant
+	return prev, existed, nil
+}
+
+// add increments key by delta (two's-complement wrapping), creating
+// the key at value delta when absent. Returns the new value.
+func (t *table) add(h uint64, key []byte, delta uint64) (uint64, error) {
+	cur, _ := t.get(h, key)
+	next := cur + delta
+	if _, _, err := t.put(h, key, next); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// del removes key, leaving a tombstone. Returns the removed value.
+func (t *table) del(h uint64, key []byte) (uint64, bool) {
+	idx, found, _ := t.probe(h, key)
+	if !found {
+		return 0, false
+	}
+	pageOff, off := slotPos(idx)
+	pg := t.ctx.PageForWrite(t.region, pageOff)
+	prev := binary.LittleEndian.Uint64(pg[off+slotValue:])
+	pg[off+slotState] = slotDead
+	t.man.live--
+	t.man.sum -= prev
+	return prev, true
+}
+
+// scan walks every slot and recomputes the live record count and
+// value sum from the data itself — the recovery cross-check against
+// the manifest.
+func (t *table) scan() (records, sum uint64) {
+	for i := uint64(0); i < t.man.slots; i++ {
+		pageOff, off := slotPos(i)
+		pg := t.ctx.PageForRead(t.region, pageOff)
+		if pg[off+slotState] == slotLive {
+			records++
+			sum += binary.LittleEndian.Uint64(pg[off+slotValue:])
+		}
+	}
+	return records, sum
+}

@@ -1,0 +1,277 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memsnap/internal/core"
+	"memsnap/internal/objstore"
+	"memsnap/internal/sim"
+)
+
+// shard is one service shard: a region, its worker Context, and the
+// bounded request queue the router feeds.
+type shard struct {
+	id     int
+	svc    *Service
+	ctx    *core.Context
+	region *core.Region
+	tab    table
+	queue  chan *request
+
+	// Statistics. The worker-owned fields are guarded by statsMu so
+	// Stats() can snapshot them while the worker runs; rejected and
+	// queueHW are updated from client goroutines, hence atomics.
+	statsMu    sync.Mutex
+	ops        int64
+	writes     int64
+	reads      int64
+	commits    int64
+	batchOps   int64 // total write ops across commits (occupancy numerator)
+	lastSubmit time.Duration
+	lastDur    time.Duration
+	commitLat  *sim.LatencyRecorder
+	startedAt  time.Duration
+	rejected   atomic.Int64
+	queueHW    atomic.Int64
+}
+
+func newLatency() *sim.LatencyRecorder { return sim.NewLatencyRecorder() }
+
+// noteDepth records a queue high-water mark observed at submit time.
+func (sh *shard) noteDepth(depth int) {
+	for {
+		cur := sh.queueHW.Load()
+		if int64(depth) <= cur || sh.queueHW.CompareAndSwap(cur, int64(depth)) {
+			return
+		}
+	}
+}
+
+// pendingBatch is a group commit whose IO is in flight: its epoch has
+// been initiated with MSAsync and its write requests are acknowledged
+// once the worker Waits for durability.
+type pendingBatch struct {
+	epoch  objstore.Epoch
+	writes []*request
+	start  time.Duration // virtual time the batch began applying
+}
+
+// run is the shard worker loop. One batch of IO may be in flight at a
+// time: after initiating batch k's uCheckpoint asynchronously the
+// worker immediately applies batch k+1 in memory, then waits for
+// batch k and acknowledges its writers — the MSAsync+Wait overlap
+// from the paper's API, lifted to group commits.
+func (sh *shard) run() {
+	defer sh.svc.wg.Done()
+	var inflight *pendingBatch
+	for {
+		var first *request
+		if inflight == nil {
+			// Nothing to retire: block for work or shutdown.
+			select {
+			case first = <-sh.queue:
+			case <-sh.svc.stop:
+				sh.shutdown(nil)
+				return
+			}
+		} else {
+			// IO in flight: never block while writers await their
+			// ack. If the queue is momentarily empty, retire the
+			// in-flight batch instead of batching further.
+			select {
+			case first = <-sh.queue:
+			case <-sh.svc.stop:
+				sh.shutdown(inflight)
+				return
+			default:
+				sh.retire(inflight)
+				inflight = nil
+				continue
+			}
+		}
+
+		batch := sh.gather(first)
+		pending := sh.apply(batch)
+		if pending == nil {
+			continue // read-only batch (or all ops failed): no commit
+		}
+		if inflight != nil {
+			sh.retire(inflight)
+		}
+		inflight = pending
+	}
+}
+
+// gather coalesces queued requests behind first, up to BatchSize.
+// With a CommitInterval configured the worker lingers that much
+// virtual time once, yielding so concurrent clients can join the
+// group commit.
+func (sh *shard) gather(first *request) []*request {
+	batch := []*request{first}
+	lingered := false
+	for len(batch) < sh.svc.cfg.BatchSize {
+		select {
+		case r := <-sh.queue:
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		if lingered || sh.svc.cfg.CommitInterval <= 0 {
+			break
+		}
+		sh.ctx.Clock().Advance(sh.svc.cfg.CommitInterval)
+		for i := 0; i < 8; i++ {
+			runtime.Gosched()
+		}
+		lingered = true
+	}
+	return batch
+}
+
+// apply executes a batch against the shard table. Reads (and writes
+// that fail validation) are answered immediately; successful writes
+// are folded into one uCheckpoint whose IO is initiated here with
+// MSAsync, and are answered by retire once it is durable. Returns nil
+// when the batch dirtied nothing.
+func (sh *shard) apply(batch []*request) *pendingBatch {
+	start := sh.ctx.Clock().Now()
+	var writes []*request
+	var reads, writeOps int64
+	for _, r := range batch {
+		if resp, isWrite := sh.applyOne(r.op); isWrite {
+			r.ack = resp // completed by retire once durable
+			writes = append(writes, r)
+			writeOps++
+		} else {
+			r.resp <- resp
+			reads++
+		}
+	}
+
+	sh.statsMu.Lock()
+	sh.ops += int64(len(batch))
+	sh.reads += reads
+	sh.writes += writeOps
+	sh.statsMu.Unlock()
+
+	if len(writes) == 0 {
+		return nil
+	}
+
+	// Manifest counters ride in the same dirty set as the slot pages,
+	// making (data, manifest) atomic per group commit.
+	sh.tab.man.applied += uint64(writeOps)
+	sh.tab.man.commits++
+	sh.tab.writeManifest()
+
+	submitAt := sh.ctx.Clock().Now()
+	epoch, err := sh.ctx.Persist(sh.region, core.MSAsync)
+	if err != nil {
+		for _, r := range writes {
+			r.resp <- Response{Err: err}
+		}
+		return nil
+	}
+	sh.statsMu.Lock()
+	sh.commits++
+	sh.batchOps += writeOps
+	sh.lastSubmit = submitAt
+	sh.statsMu.Unlock()
+	return &pendingBatch{epoch: epoch, writes: writes, start: start}
+}
+
+// applyOne executes a single op. isWrite reports that the op dirtied
+// the region and its (successful) response must wait for durability.
+func (sh *shard) applyOne(op Op) (resp Response, isWrite bool) {
+	switch op.Kind {
+	case opSum:
+		return Response{Value: sh.tab.man.sum}, false
+	case OpGet:
+		key, err := composeKey(op.Tenant, op.Key)
+		if err != nil {
+			return Response{Err: err}, false
+		}
+		v, ok := sh.tab.get(fnv1a(op.Tenant, op.Key), key)
+		return Response{Value: v, Found: ok}, false
+	case OpPut:
+		key, _ := composeKey(op.Tenant, op.Key)
+		if _, _, err := sh.tab.put(fnv1a(op.Tenant, op.Key), key, op.Value); err != nil {
+			return Response{Err: err}, false
+		}
+		return Response{Value: op.Value}, true
+	case OpAdd:
+		key, _ := composeKey(op.Tenant, op.Key)
+		v, err := sh.tab.add(fnv1a(op.Tenant, op.Key), key, op.Value)
+		if err != nil {
+			return Response{Err: err}, false
+		}
+		return Response{Value: v}, true
+	case OpDelete:
+		key, _ := composeKey(op.Tenant, op.Key)
+		v, found := sh.tab.del(fnv1a(op.Tenant, op.Key), key)
+		if !found {
+			return Response{Found: false}, false
+		}
+		return Response{Value: v, Found: true}, true
+	case OpTransfer:
+		from, _ := composeKey(op.Tenant, op.Key)
+		to, _ := composeKey(op.Tenant, op.Key2)
+		hFrom, hTo := fnv1a(op.Tenant, op.Key), fnv1a(op.Tenant, op.Key2)
+		bal, ok := sh.tab.get(hFrom, from)
+		if !ok || bal < op.Value {
+			return Response{Err: ErrInsufficient}, false
+		}
+		if _, _, err := sh.tab.put(hFrom, from, bal-op.Value); err != nil {
+			return Response{Err: err}, false
+		}
+		if _, err := sh.tab.add(hTo, to, op.Value); err != nil {
+			// Roll the debit back so a full table never loses money.
+			sh.tab.put(hFrom, from, bal)
+			return Response{Err: err}, false
+		}
+		return Response{Value: bal - op.Value}, true
+	}
+	return Response{Err: errUnknownOp(op.Kind)}, false
+}
+
+type errUnknownOp OpKind
+
+func (e errUnknownOp) Error() string { return "shard: unknown op kind" }
+
+// retire waits for an in-flight group commit to become durable and
+// acknowledges its writers.
+func (sh *shard) retire(b *pendingBatch) {
+	sh.ctx.Wait(sh.region, b.epoch)
+	now := sh.ctx.Clock().Now()
+	sh.statsMu.Lock()
+	sh.lastDur = now
+	sh.commitLat.Record(now - b.start)
+	sh.statsMu.Unlock()
+	for _, r := range b.writes {
+		r.ack.Epoch = b.epoch
+		r.resp <- r.ack
+	}
+}
+
+// shutdown performs the final drain: retire any in-flight batch, then
+// apply and synchronously commit everything left in the queue.
+func (sh *shard) shutdown(inflight *pendingBatch) {
+	if inflight != nil {
+		sh.retire(inflight)
+	}
+	for {
+		var first *request
+		select {
+		case first = <-sh.queue:
+		default:
+			return
+		}
+		batch := sh.gather(first)
+		if pending := sh.apply(batch); pending != nil {
+			sh.retire(pending)
+		}
+	}
+}

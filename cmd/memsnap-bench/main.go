@@ -67,13 +67,16 @@ func main() {
 	}
 
 	for _, e := range experiments {
-		start := time.Now()
+		// Reporting how long the run took on the operator's machine is
+		// the one place wall-clock time is the point; no simulated
+		// result depends on it.
+		start := time.Now() //lint:allow walltime real-time progress report, not simulated work
 		res, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Println(res.Format())
-		fmt.Printf("(%s completed in %.1fs real time)\n\n", e.ID, time.Since(start).Seconds())
+		//lint:allow walltime real-time progress report, not simulated work
+		fmt.Printf("%s\n(%s completed in %.1fs real time)\n\n", res.Format(), e.ID, time.Since(start).Seconds())
 	}
 }

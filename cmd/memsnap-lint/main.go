@@ -1,0 +1,115 @@
+// Command memsnap-lint runs the repo's design-rule analyzers
+// (internal/lint) over the module and exits non-zero on violations.
+//
+// Usage:
+//
+//	memsnap-lint [-list] [pattern ...]
+//
+// Patterns are import-path or directory prefixes relative to the
+// module root ("./..." or no arguments means the whole module;
+// "./internal/shard" or "internal/shard/..." restricts to a subtree).
+// The tool has zero third-party dependencies and needs no network:
+// module packages are type-checked from the repo tree, the standard
+// library from GOROOT source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"memsnap/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	rules := flag.String("rules", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: memsnap-lint [-list] [-rules a,b] [pattern ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fatalf("unknown analyzer %q (use -list)", r)
+		}
+		analyzers = sel
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs = filterPackages(pkgs, loader.Module, root, flag.Args())
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "memsnap-lint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// filterPackages keeps packages matching any of the path patterns.
+// Empty patterns or "./..." match everything.
+func filterPackages(pkgs []*lint.Package, module, root string, patterns []string) []*lint.Package {
+	var prefixes []string
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(pat, "...")
+		pat = strings.TrimSuffix(pat, "/")
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" || pat == "." {
+			return pkgs
+		}
+		prefixes = append(prefixes, module+"/"+filepath.ToSlash(pat))
+	}
+	if len(prefixes) == 0 {
+		return pkgs
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		for _, pre := range prefixes {
+			if p.Path == pre || strings.HasPrefix(p.Path, pre+"/") {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "memsnap-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

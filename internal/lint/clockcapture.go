@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockCapture flags *sim.Clock variables captured by function
+// literals launched with a go statement. Clocks are per-thread state
+// (see the ownership rule documented in internal/sim/clock.go): a
+// goroutine that needs a clock must receive it as an explicit
+// parameter (which this analyzer permits) or create its own, so
+// ownership transfer is visible at the spawn site instead of being an
+// accidental data race on virtual time.
+var ClockCapture = &Analyzer{
+	Name: "clockcapture",
+	Doc:  "forbid *sim.Clock captured by go-statement closures; pass clocks as explicit goroutine parameters",
+	Run:  runClockCapture,
+}
+
+func runClockCapture(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			// Only the literal's body can capture; arguments to the
+			// call are evaluated in the spawning goroutine's scope.
+			ast.Inspect(lit, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := pkg.Info.Uses[id].(*types.Var)
+				if !ok || !isSimClockPtr(obj.Type()) {
+					return true
+				}
+				// Declared inside the literal (parameter or local):
+				// explicit ownership transfer, allowed.
+				if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"goroutine closure captures *sim.Clock %q; clocks are per-thread (internal/sim/clock.go) — pass the clock as an explicit goroutine parameter or create one inside (design rule: per-thread clock ownership)",
+					id.Name)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// isSimClockPtr reports whether t is *sim.Clock.
+func isSimClockPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Clock" && obj.Pkg() != nil && obj.Pkg().Path() == "memsnap/internal/sim"
+}

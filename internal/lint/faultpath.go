@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// faultPathExempt lists the packages that implement the simulated MMU
+// and may therefore touch physical frames directly. Everyone else must
+// go through the vm.Thread access API (Write/Read/PageForWrite/
+// PageForRead) so minor faults fire and dirty-set tracking stays
+// sound.
+var faultPathExempt = map[string]bool{
+	"memsnap/internal/mem":       true,
+	"memsnap/internal/vm":        true,
+	"memsnap/internal/pagetable": true,
+}
+
+// faultPathMethods are the mem.PhysMem frame accessors client packages
+// must not call: raw frame bytes (Data), frame duplication (Copy),
+// page metadata with mutable tracking flags (Page), and allocator
+// entry points that mint frames outside any address space (Alloc,
+// Free).
+var faultPathMethods = map[string]bool{
+	"Data":  true,
+	"Copy":  true,
+	"Page":  true,
+	"Alloc": true,
+	"Free":  true,
+}
+
+// FaultPath flags direct use of mem.PhysMem frame accessors outside
+// the MMU packages. Writing frame bytes behind the vm.Thread API's
+// back skips the minor-fault path, so the write never lands in a
+// dirty set and the next uCheckpoint silently misses it (PAPER.md §3:
+// dirty-set tracking is the whole persistence contract).
+var FaultPath = &Analyzer{
+	Name: "faultpath",
+	Doc:  "forbid mem.PhysMem frame access outside internal/{mem,vm,pagetable}; clients use the vm.Thread API",
+	Run:  runFaultPath,
+}
+
+func runFaultPath(pass *Pass) {
+	pkg := pass.Pkg
+	if faultPathExempt[pkg.Path] {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pkg.Info.Selections[sel]
+			if s == nil {
+				return true
+			}
+			fn, ok := s.Obj().(*types.Func)
+			if !ok || !faultPathMethods[fn.Name()] {
+				return true
+			}
+			if !isPhysMemMethod(fn) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"(*mem.PhysMem).%s bypasses the simulated MMU: writes skip minor faults and dirty-set tracking, so the next uCheckpoint misses them — use the vm.Thread access API (design rule: all region access through the fault path)",
+				fn.Name())
+			return true
+		})
+	}
+}
+
+// isPhysMemMethod reports whether fn is a method of mem.PhysMem.
+func isPhysMemMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "PhysMem" && obj.Pkg() != nil && obj.Pkg().Path() == "memsnap/internal/mem"
+}

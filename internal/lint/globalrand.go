@@ -1,0 +1,30 @@
+package lint
+
+import "strconv"
+
+// GlobalRand forbids importing math/rand (and math/rand/v2) anywhere
+// in the module: every workload generator and randomized component
+// must take an explicit *sim.RNG so experiments replay bit-for-bit
+// from a seed (see internal/sim/rng.go). The ban covers test files
+// too — a test seeded from global randomness is a flaky test.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid math/rand imports; all randomness must come from the deterministic sim.RNG",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.AST.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %q: randomness must come from the deterministic sim.RNG so runs replay bit-for-bit from a seed (design rule: seeded determinism)",
+					path)
+			}
+		}
+	}
+}

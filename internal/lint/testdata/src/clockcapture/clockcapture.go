@@ -1,0 +1,65 @@
+// Fixture for the clockcapture analyzer.
+package clockcapture
+
+import "memsnap/internal/sim"
+
+// A goroutine closure capturing an enclosing *sim.Clock violates the
+// per-thread ownership rule of internal/sim/clock.go.
+func bad() {
+	clk := sim.NewClock()
+	done := make(chan struct{})
+	go func() {
+		clk.Advance(5) // want `goroutine closure captures \*sim\.Clock "clk"`
+		close(done)
+	}()
+	<-done
+	clk.Advance(1)
+}
+
+// Passing the clock as an explicit goroutine parameter transfers
+// ownership visibly at the spawn site: allowed.
+func okParam() {
+	clk := sim.NewClock()
+	done := make(chan struct{})
+	go func(c *sim.Clock) {
+		c.Advance(5)
+		close(done)
+	}(clk)
+	<-done
+}
+
+// A clock created inside the goroutine is owned by it: allowed.
+func okLocal() {
+	done := make(chan struct{})
+	go func() {
+		clk := sim.NewClock()
+		clk.Advance(5)
+		close(done)
+	}()
+	<-done
+}
+
+// Capture inside a nested literal is still a capture.
+func badNested() {
+	clk := sim.NewClock()
+	done := make(chan struct{})
+	go func() {
+		f := func() { clk.Advance(5) } // want `goroutine closure captures \*sim\.Clock "clk"`
+		f()
+		close(done)
+	}()
+	<-done
+	clk.Advance(1)
+}
+
+// The escape hatch: suppressed twin of bad().
+func suppressed() {
+	clk := sim.NewClock()
+	done := make(chan struct{})
+	go func() {
+		clk.Advance(5) //lint:allow clockcapture fixture: proves suppression works
+		close(done)
+	}()
+	<-done
+	clk.Advance(1)
+}

@@ -1,0 +1,46 @@
+// Fixture for the faultpath analyzer: this package stands in for a
+// client (litedb, pgdb, rockskv, shard, objstore) that must reach
+// region memory only through the vm.Thread access API.
+package faultpath
+
+import (
+	"memsnap/internal/mem"
+	"memsnap/internal/sim"
+	"memsnap/internal/vm"
+)
+
+func bad(pm *mem.PhysMem, clk *sim.Clock) {
+	pg := pm.Alloc(clk)         // want `\(\*mem\.PhysMem\)\.Alloc bypasses the simulated MMU`
+	data := pm.Data(pg.Frame()) // want `\(\*mem\.PhysMem\)\.Data bypasses the simulated MMU`
+	data[0] = 1
+	dup := pm.Copy(clk, pg)  // want `\(\*mem\.PhysMem\)\.Copy bypasses the simulated MMU`
+	_ = pm.Page(dup.Frame()) // want `\(\*mem\.PhysMem\)\.Page bypasses the simulated MMU`
+	pm.Free(dup)             // want `\(\*mem\.PhysMem\)\.Free bypasses the simulated MMU`
+}
+
+// Method values bypass just as effectively as calls.
+func badMethodValue(pm *mem.PhysMem) func(mem.Frame) []byte {
+	return pm.Data // want `\(\*mem\.PhysMem\)\.Data bypasses the simulated MMU`
+}
+
+// The sanctioned route: every access goes through the thread so minor
+// faults fire and the dirty set stays sound.
+func ok(t *vm.Thread, addr uint64) byte {
+	t.Write(addr, []byte{42})
+	buf := make([]byte, 1)
+	t.Read(addr, buf)
+	return buf[0]
+}
+
+// Constructing a PhysMem is not frame access; wiring one into an
+// address space is how systems boot.
+func okConstruct(costs *sim.CostModel) *mem.PhysMem {
+	pm := mem.New(costs)
+	_ = pm.Stats()
+	return pm
+}
+
+// The escape hatch: suppressed twin of bad().
+func suppressed(pm *mem.PhysMem) []byte {
+	return pm.Data(0) //lint:allow faultpath fixture: proves suppression works
+}

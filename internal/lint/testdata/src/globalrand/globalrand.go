@@ -1,0 +1,12 @@
+// Fixture for the globalrand analyzer.
+package globalrand
+
+import (
+	"math/rand" // want `import of "math/rand": randomness must come from the deterministic sim\.RNG`
+
+	"memsnap/internal/sim"
+)
+
+func bad() int { return rand.Int() }
+
+func ok(r *sim.RNG) int { return r.Intn(10) }

@@ -1,0 +1,8 @@
+package globalrand
+
+// globalrand applies to test files too: a test seeded from global
+// randomness is a flaky test.
+
+import "math/rand/v2" // want `import of "math/rand/v2": randomness must come from the deterministic sim\.RNG`
+
+func testHelper() int { return rand.IntN(10) }

@@ -1,0 +1,28 @@
+// Fixture for the walltime analyzer. The harness loads this package
+// under a synthetic memsnap/internal/... import path so the
+// internal/+cmd/ scoping applies.
+package walltime
+
+import "time"
+
+func bad() time.Duration {
+	t := time.Now()                // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	d := time.Since(t)             // want `time\.Since reads the wall clock`
+	<-time.After(time.Microsecond) // want `time\.After reads the wall clock`
+	_ = time.NewTimer(d)           // want `time\.NewTimer reads the wall clock`
+	return d
+}
+
+// Durations, constants and conversions are the currency of virtual
+// time and stay legal.
+func ok() time.Duration {
+	const d = 3 * time.Microsecond
+	return d + time.Duration(17)
+}
+
+// The escape hatch: a suppressed call passes while its unsuppressed
+// twin in bad() fails.
+func suppressed() time.Time {
+	return time.Now() //lint:allow walltime fixture: proves suppression works
+}

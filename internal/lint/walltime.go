@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallTimeFuncs are the package-level time functions that read or wait
+// on the wall clock. Types and constants (time.Duration,
+// time.Microsecond, ...) stay usable: virtual time is denominated in
+// time.Duration throughout the simulation.
+var wallTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallTime forbids wall-clock time sources in non-test code under
+// internal/ and cmd/: all simulated work must charge a virtual
+// sim.Clock so experiments are deterministic and machine-independent
+// (PAPER.md §6 methodology; see internal/sim package comment).
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Sleep/Since/timers in simulation code; only sim.Clock may advance time",
+	Run:  runWallTime,
+}
+
+func runWallTime(pass *Pass) {
+	pkg := pass.Pkg
+	if !pathIsUnder(pkg.Path, "memsnap/internal") && !pathIsUnder(pkg.Path, "memsnap/cmd") {
+		return
+	}
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if wallTimeFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; simulated work must charge a virtual sim.Clock so runs are deterministic (design rule: virtual time only)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

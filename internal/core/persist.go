@@ -18,6 +18,11 @@ type Context struct {
 
 	pending []pendingCheckpoint
 
+	// capture, when enabled, makes Persist retain a copy of every
+	// committed page so replication can ship the uCheckpoint delta.
+	capture  bool
+	captured []CapturedCommit
+
 	// LastBreakdown records the phase timing of the most recent
 	// Persist call (Tables 5 and 10).
 	LastBreakdown PersistBreakdown
@@ -33,6 +38,43 @@ type pendingCheckpoint struct {
 	epoch   objstore.Epoch
 	done    time.Duration
 	release func()
+}
+
+// CommittedPage is a copy of one page of a committed uCheckpoint,
+// identified by its block index within the region.
+type CommittedPage struct {
+	Index int64
+	Data  []byte
+}
+
+// CapturedCommit records one region's share of a Persist call: the
+// epoch it committed and copies of exactly the pages it wrote. A
+// captured commit is therefore the uCheckpoint's dirty-page delta —
+// the unit a replication layer ships to a follower.
+type CapturedCommit struct {
+	Region *Region
+	Epoch  objstore.Epoch
+	Pages  []CommittedPage
+}
+
+// CaptureCommits enables or disables commit capture on the context.
+// While enabled, every successful Persist appends one CapturedCommit
+// per committed region (copying the page contents, charged to the
+// context clock as memcpy); TakeCaptured drains them. Disabled by
+// default.
+func (ctx *Context) CaptureCommits(on bool) {
+	ctx.capture = on
+	if !on {
+		ctx.captured = nil
+	}
+}
+
+// TakeCaptured returns the commits captured since the last call and
+// clears the buffer. Commits appear in Persist order.
+func (ctx *Context) TakeCaptured() []CapturedCommit {
+	out := ctx.captured
+	ctx.captured = nil
+	return out
 }
 
 // PersistBreakdown is the cost split of one Persist call.
@@ -229,6 +271,22 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 		if c.done > lastDone {
 			lastDone = c.done
 		}
+	}
+
+	// Capture the delta while the snapshot aliases are still pinned by
+	// the in-progress flags: copies, so the captured pages stay valid
+	// after the checkpoint releases.
+	if ctx.capture {
+		for i, rw := range order {
+			cc := CapturedCommit{Region: rw.region, Epoch: commits[i].epoch}
+			for _, b := range rw.blocks {
+				data := make([]byte, len(b.Data))
+				copy(data, b.Data)
+				cc.Pages = append(cc.Pages, CommittedPage{Index: b.Index, Data: data})
+			}
+			ctx.captured = append(ctx.captured, cc)
+		}
+		clk.Advance(costs.MemcpyCost(len(records) * PageSize))
 	}
 
 	ctx.Persists++

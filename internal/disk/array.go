@@ -159,6 +159,8 @@ func (a *Array) CutPower(at time.Duration, rng *sim.RNG) {
 }
 
 // PeekAt reads array contents without cost, for tests and tooling.
+//
+//lint:allow faultpath deliberate zero-cost escape hatch for tests and tooling
 func (a *Array) PeekAt(offset int64, buf []byte) {
 	off := offset
 	remaining := buf

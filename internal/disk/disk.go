@@ -169,6 +169,8 @@ func (d *Device) CutPower(at time.Duration, rng *sim.RNG) {
 
 // PeekAt copies device contents without charging any cost or touching
 // the queue. For tests and tooling only.
+//
+//lint:allow faultpath deliberate zero-cost escape hatch for tests and tooling
 func (d *Device) PeekAt(offset int64, buf []byte) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"memsnap/internal/core"
+	"memsnap/internal/replica"
+	"memsnap/internal/shard"
+)
+
+// Replica evaluates the primary/backup epoch-shipping layer
+// (internal/replica): client throughput and commit latency with
+// replication enabled, across a mode (async/sync) x in-flight window
+// grid, plus the shipping-side counters that show how far the backup
+// trails the primary.
+func Replica(opts Options) (*Result, error) {
+	opts = opts.fill()
+	res := &Result{
+		ID:     "replica",
+		Title:  "Epoch shipping: throughput and lag vs mode x window",
+		Header: []string{"Mode", "Window", "Kops/s", "Commit p50 (us)", "Commit p99 (us)", "Shipped", "Acked", "Ack p99 (us)", "Max lag", "Snapshots"},
+		Notes: []string{
+			"4 shards, 2 async clients per shard with 8 outstanding ops each, 75% Add / 25% Get",
+			fmt.Sprintf("%d ops per client (scale %.2f); clean link at default cost model", opts.scaled(200), opts.Scale),
+			"sync mode holds the client ack until the follower ack, so commit latency includes the round trip",
+			"max lag is the largest (primary commit seq - follower acked seq) across shards, sampled before the final flush",
+		},
+	}
+	for _, mode := range []replica.Mode{replica.Async, replica.Sync} {
+		for _, window := range []int{4, 16} {
+			row, err := replicaRun(mode, window, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// replicaRun serves one grid cell: a primary system replicating every
+// group commit over a clean link to a follower on its own array.
+func replicaRun(mode replica.Mode, window int, opts Options) ([]string, error) {
+	const shards = 4
+	sysA, err := core.NewSystem(core.Options{CPUs: shards, DiskBytesEach: 512 << 20})
+	if err != nil {
+		return nil, err
+	}
+	sysB, err := core.NewSystem(core.Options{CPUs: shards, DiskBytesEach: 512 << 20})
+	if err != nil {
+		return nil, err
+	}
+	fol, err := replica.NewFollower(sysB, replica.FollowerConfig{Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	link := replica.NewLink(replica.LinkConfig{Seed: opts.Seed})
+	ship := replica.NewShipper(link, fol, shards, replica.Config{Mode: mode, Window: window})
+	svc, err := shard.New(sysA, shard.Config{Shards: shards, BatchSize: 8, Replicator: ship})
+	if err != nil {
+		return nil, err
+	}
+	ship.Attach(svc)
+
+	const clientWindow = 8
+	clients := 2 * shards
+	opsPer := opts.scaled(200)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%02d", c%4)
+			pending := make([]<-chan shard.Response, 0, clientWindow)
+			drain := func(keep int) error {
+				for len(pending) > keep {
+					resp := <-pending[0]
+					pending = pending[1:]
+					if resp.Err != nil {
+						return resp.Err
+					}
+				}
+				return nil
+			}
+			for i := 0; i < opsPer; i++ {
+				key := fmt.Sprintf("k-%04d", (c*7919+i*613)%256)
+				op := shard.Op{Kind: shard.OpAdd, Tenant: tenant, Key: key, Value: 1}
+				if i%4 == 3 {
+					op = shard.Op{Kind: shard.OpGet, Tenant: tenant, Key: key}
+				}
+				ch, err := svc.DoAsync(op)
+				if err != nil {
+					errs <- err
+					return
+				}
+				pending = append(pending, ch)
+				if err := drain(clientWindow - 1); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := drain(0); err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Sample replication lag before flushing the pipeline: how far the
+	// follower's acked position trails each shard's commit counter.
+	var maxLag uint64
+	repStats := ship.Stats()
+	for i := 0; i < shards; i++ {
+		meta, err := svc.ShardMeta(i)
+		if err != nil {
+			return nil, err
+		}
+		if lag := meta.Seq - repStats[i].LastAckedSeq; lag > maxLag {
+			maxLag = lag
+		}
+	}
+
+	st := svc.TotalStats()
+	if err := svc.Close(); err != nil {
+		return nil, err
+	}
+	ship.Flush()
+	repStats = ship.Stats()
+	var shipped, acked, snapshots int64
+	ackP99 := repStats[0].AckLatency.P99
+	for _, rs := range repStats {
+		shipped += rs.Shipped
+		acked += rs.Acked
+		snapshots += rs.Snapshots
+		if rs.AckLatency.P99 > ackP99 {
+			ackP99 = rs.AckLatency.P99
+		}
+	}
+	if err := ship.Close(); err != nil {
+		return nil, err
+	}
+
+	kops := 0.0
+	if st.Elapsed > 0 {
+		kops = float64(st.Ops) / st.Elapsed.Seconds() / 1000
+	}
+	modeName := "async"
+	if mode == replica.Sync {
+		modeName = "sync"
+	}
+	return []string{
+		modeName,
+		fmt.Sprintf("%d", window),
+		fmt.Sprintf("%.1f", kops),
+		us(st.CommitLatency.P50),
+		us(st.CommitLatency.P99),
+		fmt.Sprintf("%d", shipped),
+		fmt.Sprintf("%d", acked),
+		us(ackP99),
+		fmt.Sprintf("%d", maxLag),
+		fmt.Sprintf("%d", snapshots),
+	}, nil
+}

@@ -398,3 +398,40 @@ func TestShardSvcShape(t *testing.T) {
 		t.Fatalf("batch=1 occupancy %.1f, want exactly 1", occ)
 	}
 }
+
+func TestReplicaShape(t *testing.T) {
+	res, err := Replica(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("replica grid has %d rows, want 4 (2 modes x 2 windows)", len(res.Rows))
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		return v
+	}
+	for _, row := range res.Rows {
+		shipped, acked := parse(row[5]), parse(row[6])
+		if shipped <= 0 || shipped != acked {
+			t.Fatalf("%s/%s: shipped %v acked %v, want equal and positive after flush on a clean link",
+				row[0], row[1], shipped, acked)
+		}
+		if snaps := parse(row[9]); snaps != 0 {
+			t.Fatalf("%s/%s: %v snapshots on a clean link, want 0", row[0], row[1], snaps)
+		}
+		if row[0] == "sync" {
+			if lag := parse(row[8]); lag != 0 {
+				t.Fatalf("sync/%s: max lag %v, want 0 (client acks wait for follower acks)", row[1], lag)
+			}
+		}
+	}
+	// Rows 0-1 async, 2-3 sync at the same windows: shipping off the
+	// critical path must not be slower than holding client acks.
+	if a, s := parse(res.Rows[0][2]), parse(res.Rows[2][2]); a < s {
+		t.Fatalf("async throughput %.1f below sync %.1f", a, s)
+	}
+}

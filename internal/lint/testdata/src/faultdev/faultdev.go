@@ -1,0 +1,76 @@
+// Fixture for the faultpath analyzer's charge-discipline check: this
+// package stands in for a simulated hardware type (disk.Device,
+// disk.Array, replica.Link) whose exported methods must charge
+// virtual time before touching backing state.
+package faultdev
+
+import (
+	"time"
+
+	"memsnap/internal/sim"
+)
+
+// simBuf is the backing state behind the device model.
+type simBuf struct{ data []byte }
+
+func (b *simBuf) readAt(off int64, buf []byte)  { copy(buf, b.data[off:]) }
+func (b *simBuf) writeAt(off int64, buf []byte) { copy(b.data[off:], buf) }
+
+// SimDev is registered in the analyzer's chargeBacking table with
+// backing field "backing".
+type SimDev struct {
+	costs   *sim.CostModel
+	backing *simBuf
+}
+
+// Submit charges through its at parameter: the caller's virtual
+// timestamp prices the operation.
+func (d *SimDev) Submit(at time.Duration, off int64, buf []byte) time.Duration {
+	d.backing.writeAt(off, buf)
+	return at + d.costs.DiskBaseLatency
+}
+
+// Tick charges through a *sim.Clock parameter.
+func (d *SimDev) Tick(clk *sim.Clock, off int64, buf []byte) {
+	clk.Advance(d.costs.DiskBaseLatency)
+	d.backing.readAt(off, buf)
+}
+
+// Charged consults the cost model before touching backing state.
+func (d *SimDev) Charged(off int64, buf []byte) time.Duration {
+	cost := d.costs.TransferCost(len(buf))
+	d.backing.readAt(off, buf)
+	return cost
+}
+
+// Drain reads backing state with no virtual-time accounting at all.
+func (d *SimDev) Drain(off int64, buf []byte) { // want `touches backing device state without charging virtual time`
+	d.backing.readAt(off, buf)
+}
+
+// Reset assigns the backing field itself — also a touch.
+func (d *SimDev) Reset() { // want `touches backing device state without charging virtual time`
+	d.backing = &simBuf{}
+}
+
+// Backwards consults the cost model only after the touch: the access
+// itself ran for free.
+func (d *SimDev) Backwards(off int64, buf []byte) time.Duration { // want `touches backing device state without charging virtual time`
+	d.backing.readAt(off, buf)
+	return d.costs.DiskBaseLatency
+}
+
+// unexported internals are what the charged exported API wraps.
+func (d *SimDev) drainLocked(off int64, buf []byte) {
+	d.backing.readAt(off, buf)
+}
+
+// Peek is the suppressed twin of Drain.
+//
+//lint:allow faultpath fixture: proves suppression works
+func (d *SimDev) Peek(off int64, buf []byte) {
+	d.backing.readAt(off, buf)
+}
+
+// use keeps the unexported helper referenced.
+var _ = (*SimDev).drainLocked

@@ -1,0 +1,338 @@
+package replica
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"memsnap/internal/core"
+	"memsnap/internal/shard"
+)
+
+// ApplyCode classifies the follower's response to a delta.
+type ApplyCode int
+
+const (
+	// ApplyOK: the delta was the next in sequence and is durable on
+	// the follower.
+	ApplyOK ApplyCode = iota
+	// ApplyDuplicate: the delta was already applied (a retransmission
+	// after a lost ack); re-acked idempotently.
+	ApplyDuplicate
+	// ApplyGap: the delta is ahead of the follower's position (or
+	// from a newer era the follower has no base for); the shipper
+	// must replay the missing deltas or transfer a snapshot.
+	ApplyGap
+	// ApplyStale: the sender is superseded — the follower was
+	// promoted or follows a newer era.
+	ApplyStale
+)
+
+// ApplyStatus is the follower's ack payload: the outcome plus its
+// last fully applied sequence number, which the shipper uses to size
+// a catch-up.
+type ApplyStatus struct {
+	Code    ApplyCode
+	LastSeq uint64
+}
+
+// FollowerConfig sizes a follower. Shards and RegionBytes must match
+// the primary's shard.Config.
+type FollowerConfig struct {
+	Shards      int
+	RegionBytes int64
+	// StartAt positions the follower's clocks, e.g. at the recovery
+	// completion time when rejoining from a recovered store.
+	StartAt time.Duration
+}
+
+func (c *FollowerConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.RegionBytes <= 0 {
+		c.RegionBytes = 4 << 20
+	}
+}
+
+// FollowerShardStats are one follower shard's apply counters and
+// replication position.
+type FollowerShardStats struct {
+	Shard      int
+	Applied    int64
+	Duplicates int64
+	Gaps       int64
+	Stale      int64
+	Snapshots  int64
+	LastSeq    uint64
+	Era        uint64
+}
+
+// Follower is the backup endpoint: it owns a full set of shard
+// regions in its own System (its own disk array — it survives the
+// primary's death) and applies shipped deltas in sequence order, each
+// as one synchronous uCheckpoint. Regions carry the same names as the
+// primary's, so Promote can bring the follower up through the
+// standard shard recovery path.
+//
+// A fresh follower formats its regions exactly as a fresh primary
+// would (format is deterministic), so even a shard that never ships a
+// delta is byte-identical across the pair; each delta (starting at
+// seq 1) then carries the manifest page and keeps the region
+// bit-for-bit in step. A follower built over a recovered store (a
+// rejoining ex-primary) instead resumes from the manifest position of
+// each region.
+type Follower struct {
+	cfg  FollowerConfig
+	sys  *core.System
+	proc *core.Process
+
+	mu       sync.Mutex
+	promoted bool
+
+	shards []*followerShard
+}
+
+type followerShard struct {
+	mu     sync.Mutex
+	ctx    *core.Context
+	region *core.Region
+
+	lastSeq uint64
+	era     uint64
+
+	applied    int64
+	duplicates int64
+	gaps       int64
+	stale      int64
+	snapshots  int64
+}
+
+// NewFollower opens a follower over sys. Pre-existing shard regions
+// (a rejoining ex-primary's) are resumed at their manifest position;
+// missing ones start empty at sequence zero.
+func NewFollower(sys *core.System, cfg FollowerConfig) (*Follower, error) {
+	cfg.fill()
+	f := &Follower{cfg: cfg, sys: sys, proc: sys.NewProcess()}
+	existing := make(map[string]bool)
+	for _, name := range sys.RegionNames() {
+		existing[name] = true
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		ctx := f.proc.NewContext(i)
+		ctx.Clock().AdvanceTo(cfg.StartAt)
+		pre := existing[shard.RegionName(i)]
+		region, err := f.proc.Open(ctx, shard.RegionName(i), cfg.RegionBytes)
+		if err != nil {
+			return nil, err
+		}
+		fs := &followerShard{ctx: ctx, region: region}
+		if pre {
+			if seq, era, _, ok := shard.ManifestMeta(ctx, region); ok {
+				fs.lastSeq, fs.era = seq, era
+			}
+		} else {
+			// Format the fresh region exactly as a fresh primary
+			// shard would: format is deterministic, so an idle shard
+			// that never ships a delta is still byte-identical across
+			// the replica pair.
+			if err := shard.FormatRegion(ctx, region, i, cfg.Shards, cfg.RegionBytes, 0); err != nil {
+				return nil, err
+			}
+		}
+		f.shards = append(f.shards, fs)
+	}
+	return f, nil
+}
+
+// Apply applies one delta arriving at virtual time at and returns the
+// time the ack is ready plus its status. Deltas apply only in exact
+// sequence order within the follower's era; each successful apply is
+// one synchronous uCheckpoint, so the follower's durable state always
+// ends on a whole-delta boundary.
+func (f *Follower) Apply(at time.Duration, d *Delta) (time.Duration, ApplyStatus) {
+	f.mu.Lock()
+	promoted := f.promoted
+	f.mu.Unlock()
+	if d.Shard < 0 || d.Shard >= len(f.shards) {
+		return at, ApplyStatus{Code: ApplyStale}
+	}
+	fs := f.shards[d.Shard]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	clk := fs.ctx.Clock()
+	clk.AdvanceTo(at)
+	switch {
+	case promoted || d.Era < fs.era:
+		fs.stale++
+		return clk.Now(), ApplyStatus{Code: ApplyStale, LastSeq: fs.lastSeq}
+	case d.Era > fs.era:
+		// A newer primary. From a clean slate the full history (seq 1)
+		// is a safe base; anything else needs a snapshot to discard
+		// whatever this replica holds from the old era.
+		if !(fs.lastSeq == 0 && d.Seq == 1) {
+			fs.gaps++
+			return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
+		}
+		fs.era = d.Era
+	}
+	if d.Seq <= fs.lastSeq {
+		fs.duplicates++
+		return clk.Now(), ApplyStatus{Code: ApplyDuplicate, LastSeq: fs.lastSeq}
+	}
+	if d.Seq != fs.lastSeq+1 {
+		fs.gaps++
+		return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
+	}
+	for _, pg := range d.Pages {
+		fs.ctx.WriteAt(fs.region, pg.Index*core.PageSize, pg.Data)
+	}
+	if _, err := fs.ctx.Persist(fs.region, core.MSSync); err != nil {
+		// The delta did not become durable; report a gap so the
+		// shipper retries from our (unchanged) position.
+		fs.gaps++
+		return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
+	}
+	fs.lastSeq = d.Seq
+	fs.applied++
+	return clk.Now(), ApplyStatus{Code: ApplyOK, LastSeq: fs.lastSeq}
+}
+
+// ApplySnapshot installs a full-region snapshot, replacing whatever
+// the follower shard held — the catch-up (and era-reconciliation)
+// path. The whole region is written and persisted as one synchronous
+// uCheckpoint.
+func (f *Follower) ApplySnapshot(at time.Duration, snap *shard.Snapshot) (time.Duration, error) {
+	f.mu.Lock()
+	promoted := f.promoted
+	f.mu.Unlock()
+	if promoted {
+		return at, ErrPromoted
+	}
+	if snap.Shard < 0 || snap.Shard >= len(f.shards) {
+		return at, fmt.Errorf("replica: snapshot for unknown shard %d", snap.Shard)
+	}
+	fs := f.shards[snap.Shard]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	clk := fs.ctx.Clock()
+	clk.AdvanceTo(at)
+	if snap.Era < fs.era {
+		fs.stale++
+		return clk.Now(), ErrStale
+	}
+	for _, pg := range snap.Pages {
+		fs.ctx.WriteAt(fs.region, pg.Index*core.PageSize, pg.Data)
+	}
+	if _, err := fs.ctx.Persist(fs.region, core.MSSync); err != nil {
+		return clk.Now(), err
+	}
+	fs.lastSeq, fs.era = snap.Seq, snap.Era
+	fs.snapshots++
+	return clk.Now(), nil
+}
+
+// LastApplied returns a shard's replication position.
+func (f *Follower) LastApplied(shardID int) (seq, era uint64) {
+	fs := f.shards[shardID]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.lastSeq, fs.era
+}
+
+// Sums reads each follower shard's manifest value sum (zero for a
+// shard that has not applied anything yet).
+func (f *Follower) Sums() []uint64 {
+	out := make([]uint64, len(f.shards))
+	for i, fs := range f.shards {
+		fs.mu.Lock()
+		if _, _, sum, ok := shard.ManifestMeta(fs.ctx, fs.region); ok {
+			out[i] = sum
+		}
+		fs.mu.Unlock()
+	}
+	return out
+}
+
+// Digests computes each follower shard's page-level region digest,
+// comparable with Service.ShardDigests.
+func (f *Follower) Digests() []uint64 {
+	out := make([]uint64, len(f.shards))
+	for i, fs := range f.shards {
+		fs.mu.Lock()
+		out[i] = shard.DigestRegion(fs.ctx, fs.region)
+		fs.mu.Unlock()
+	}
+	return out
+}
+
+// Stats snapshots every follower shard's counters.
+func (f *Follower) Stats() []FollowerShardStats {
+	out := make([]FollowerShardStats, len(f.shards))
+	for i, fs := range f.shards {
+		fs.mu.Lock()
+		out[i] = FollowerShardStats{
+			Shard:      i,
+			Applied:    fs.applied,
+			Duplicates: fs.duplicates,
+			Gaps:       fs.gaps,
+			Stale:      fs.stale,
+			Snapshots:  fs.snapshots,
+			LastSeq:    fs.lastSeq,
+			Era:        fs.era,
+		}
+		fs.mu.Unlock()
+	}
+	return out
+}
+
+// EndTime returns the latest virtual time across follower shards.
+func (f *Follower) EndTime() time.Duration {
+	var end time.Duration
+	for _, fs := range f.shards {
+		fs.mu.Lock()
+		if t := fs.ctx.Clock().Now(); t > end {
+			end = t
+		}
+		fs.mu.Unlock()
+	}
+	return end
+}
+
+// Promote fails the follower over: it stops accepting deltas (further
+// Apply calls report ApplyStale) and reopens its regions as a running
+// shard.Service through the standard manifest recovery path, at the
+// last fully applied epoch of every shard, under a replication era
+// one past the highest this follower has seen. cfg.Shards,
+// RegionBytes, Era and StartAt are filled from the follower's state;
+// set cfg.Replicator to ship onward to the next follower (e.g. the
+// reconciled ex-primary).
+func (f *Follower) Promote(cfg shard.Config) (*shard.Service, error) {
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return nil, ErrPromoted
+	}
+	f.promoted = true
+	f.mu.Unlock()
+
+	var maxEra uint64
+	start := cfg.StartAt
+	for _, fs := range f.shards {
+		fs.mu.Lock()
+		if fs.era > maxEra {
+			maxEra = fs.era
+		}
+		if t := fs.ctx.Clock().Now(); t > start {
+			start = t
+		}
+		fs.mu.Unlock()
+	}
+	cfg.Shards = f.cfg.Shards
+	cfg.RegionBytes = f.cfg.RegionBytes
+	if cfg.Era <= maxEra {
+		cfg.Era = maxEra + 1
+	}
+	cfg.StartAt = start
+	return shard.New(f.sys, cfg)
+}

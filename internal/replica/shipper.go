@@ -1,0 +1,544 @@
+package replica
+
+import (
+	"sync"
+	"time"
+
+	"memsnap/internal/shard"
+	"memsnap/internal/sim"
+)
+
+// Mode selects when the primary's clients are acknowledged relative
+// to replication.
+type Mode int
+
+const (
+	// Async (the default): ShipCommit enqueues the delta in the
+	// shard's bounded in-flight window and returns immediately, so
+	// client acks wait only for local durability.
+	Async Mode = iota
+	// Sync: ShipCommit transmits inline and returns the follower-ack
+	// time, so the worker holds client acks until the commit is
+	// durable on both replicas (or fails them with ErrLinkDown).
+	Sync
+)
+
+// Config tunes a Shipper.
+type Config struct {
+	Mode Mode
+	// Window bounds the per-shard in-flight delta queue and the
+	// retained-delta history used for gap replay (default 8). An
+	// async worker committing more than Window deltas ahead of the
+	// sender blocks until a slot frees.
+	Window int
+	// RetryTimeout is the virtual time a sender waits before
+	// retransmitting a delta whose delivery or ack was lost
+	// (default 200us).
+	RetryTimeout time.Duration
+	// MaxRetries bounds retransmissions per message before the
+	// follower is declared unreachable (default 8).
+	MaxRetries int
+}
+
+func (c *Config) fill() {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 200 * time.Microsecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+}
+
+// ShardRepStats are one shard's replication pipeline counters.
+type ShardRepStats struct {
+	Shard int
+	// Shipped counts delta transmissions (retransmissions included);
+	// Acked counts deltas confirmed by the follower; Duplicates are
+	// acks for deltas the follower had already applied.
+	Shipped, Acked, Duplicates int64
+	// Retries, LostDeltas, LostAcks count the retransmission machinery.
+	Retries, LostDeltas, LostAcks int64
+	// Gaps counts follower gap reports; Snapshots counts full-region
+	// catch-up transfers; Stale counts era rejections; Exhausted
+	// counts messages abandoned after MaxRetries; Unsent counts
+	// deltas dropped because no follower was connected.
+	Gaps, Snapshots, Stale, Exhausted, Unsent int64
+	// LastAckedSeq is the highest sequence number the follower acked.
+	LastAckedSeq uint64
+	// AckLatency summarizes per-delta latency from local durability
+	// to follower ack.
+	AckLatency sim.Summary
+}
+
+type shipJob struct {
+	at time.Duration
+	d  *Delta
+}
+
+type shipShard struct {
+	id    int
+	queue chan shipJob
+
+	// backlog and horizon belong to the shard's single sender (the
+	// async goroutine, or the worker in sync mode): jobs deferred
+	// while a snapshot was in flight, and the virtual time the sender
+	// is busy until.
+	backlog []shipJob
+	horizon time.Duration
+
+	mu       sync.Mutex
+	retained []*Delta
+	st       ShardRepStats
+	ackLat   *sim.LatencyRecorder
+}
+
+// retain appends d to the replay history, keeping the last window
+// deltas.
+func (ss *shipShard) retain(d *Delta, window int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.retained = append(ss.retained, d)
+	if len(ss.retained) > window {
+		ss.retained = ss.retained[len(ss.retained)-window:]
+	}
+}
+
+// retainedRange returns the retained deltas covering [from, to], or
+// ok=false when the history has a hole in that range (snapshot
+// catch-up required). An empty range is trivially covered.
+func (ss *shipShard) retainedRange(from, to uint64) ([]*Delta, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if from > to {
+		return nil, true
+	}
+	var out []*Delta
+	want := from
+	for _, d := range ss.retained {
+		if d.Seq < from || d.Seq > to {
+			continue
+		}
+		if d.Seq != want {
+			return nil, false
+		}
+		out = append(out, d)
+		want = d.Seq + 1
+	}
+	return out, want == to+1
+}
+
+// Shipper is the primary-side replication pipeline: it implements
+// shard.Replicator, turning each locally durable group commit into a
+// Delta shipped over the Link to the Follower. Construct it first,
+// pass it in shard.Config.Replicator, then Attach the service (the
+// snapshot source for async catch-up). The follower endpoint may be
+// connected later (a promoted primary starts shipping into the void
+// until the demoted one rejoins); deltas meanwhile count as Unsent
+// and are retained up to the window for replay.
+//
+// Shutdown order: close the service first (its final drain still
+// ships), then the Shipper.
+type Shipper struct {
+	cfg  Config
+	link *Link
+
+	mu     sync.Mutex
+	fol    *Follower
+	svc    *shard.Service
+	closed bool
+
+	shards []*shipShard
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	jobs   sync.WaitGroup
+}
+
+// NewShipper builds a shipper for nshards shards over link. fol may
+// be nil and connected later via Connect.
+func NewShipper(link *Link, fol *Follower, nshards int, cfg Config) *Shipper {
+	cfg.fill()
+	if nshards <= 0 {
+		nshards = 8
+	}
+	s := &Shipper{cfg: cfg, link: link, fol: fol, stop: make(chan struct{})}
+	for i := 0; i < nshards; i++ {
+		s.shards = append(s.shards, &shipShard{
+			id:     i,
+			queue:  make(chan shipJob, cfg.Window),
+			ackLat: sim.NewLatencyRecorder(),
+		})
+	}
+	if cfg.Mode == Async {
+		for _, ss := range s.shards {
+			s.wg.Add(1)
+			go s.run(ss)
+		}
+	}
+	return s
+}
+
+// Attach wires the primary service in as the snapshot source for
+// catch-up transfers and Reconcile.
+func (s *Shipper) Attach(svc *shard.Service) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.svc = svc
+}
+
+// Connect wires (or replaces) the follower endpoint.
+func (s *Shipper) Connect(fol *Follower) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fol = fol
+}
+
+func (s *Shipper) follower() *Follower {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fol
+}
+
+// ShipCommit implements shard.Replicator.
+func (s *Shipper) ShipCommit(shardID int, at time.Duration, c shard.Commit, snap func() shard.Snapshot) (time.Duration, error) {
+	ss := s.shards[shardID]
+	d := &Delta{Shard: shardID, Seq: c.Seq, Era: c.Era, Epoch: c.Epoch, Pages: c.Pages}
+	ss.retain(d, s.cfg.Window)
+	if s.cfg.Mode == Sync {
+		sendAt := maxd(at, ss.horizon)
+		ackAt, err := s.deliver(ss, sendAt, d, snap, true)
+		if ackAt > ss.horizon {
+			ss.horizon = ackAt
+		}
+		return ackAt, err
+	}
+	s.jobs.Add(1)
+	select {
+	case ss.queue <- shipJob{at: at, d: d}:
+	case <-s.stop:
+		s.jobs.Done()
+		ss.mu.Lock()
+		ss.st.Unsent++
+		ss.mu.Unlock()
+	}
+	return at, nil
+}
+
+// run is a shard's async sender loop: backlog first (jobs deferred
+// behind a snapshot transfer), then the queue, then a final drain
+// after stop.
+func (s *Shipper) run(ss *shipShard) {
+	defer s.wg.Done()
+	for {
+		if len(ss.backlog) > 0 {
+			var j shipJob
+			j, ss.backlog = ss.backlog[0], ss.backlog[1:]
+			s.process(ss, j)
+			continue
+		}
+		select {
+		case j := <-ss.queue:
+			s.process(ss, j)
+		case <-s.stop:
+			for {
+				if len(ss.backlog) > 0 {
+					var j shipJob
+					j, ss.backlog = ss.backlog[0], ss.backlog[1:]
+					s.process(ss, j)
+					continue
+				}
+				select {
+				case j := <-ss.queue:
+					s.process(ss, j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Shipper) process(ss *shipShard, j shipJob) {
+	defer s.jobs.Done()
+	sendAt := maxd(j.at, ss.horizon)
+	ackAt, _ := s.deliver(ss, sendAt, j.d, nil, true)
+	if ackAt > ss.horizon {
+		ss.horizon = ackAt
+	}
+}
+
+// deliver runs the send/ack state machine for one delta: transmit,
+// apply at the follower, ack back, with timeout retransmission on
+// either loss (a retransmission after a lost ack is exactly the
+// duplicate delivery the follower acks idempotently). A gap report
+// triggers catch-up when allowCatchup is set; snapFn, when non-nil,
+// provides the snapshot from the calling goroutine (the sync path,
+// where the caller is the shard worker itself).
+func (s *Shipper) deliver(ss *shipShard, at time.Duration, d *Delta, snapFn func() shard.Snapshot, allowCatchup bool) (time.Duration, error) {
+	fol := s.follower()
+	if fol == nil {
+		ss.mu.Lock()
+		ss.st.Unsent++
+		ss.mu.Unlock()
+		return at, ErrNotAttached
+	}
+	sendAt := at
+	last := at
+	for try := 0; try <= s.cfg.MaxRetries; try++ {
+		ss.mu.Lock()
+		ss.st.Shipped++
+		if try > 0 {
+			ss.st.Retries++
+		}
+		ss.mu.Unlock()
+		arrive, ok := s.link.Deliver(sendAt, d.WireSize())
+		last = arrive
+		if !ok {
+			ss.mu.Lock()
+			ss.st.LostDeltas++
+			ss.mu.Unlock()
+			sendAt = arrive + s.cfg.RetryTimeout
+			continue
+		}
+		ackReady, status := fol.Apply(arrive, d)
+		ackAt, ok := s.link.Deliver(ackReady, ackWireBytes)
+		last = ackAt
+		if !ok {
+			ss.mu.Lock()
+			ss.st.LostAcks++
+			ss.mu.Unlock()
+			sendAt = ackAt + s.cfg.RetryTimeout
+			continue
+		}
+		switch status.Code {
+		case ApplyOK, ApplyDuplicate:
+			ss.mu.Lock()
+			ss.st.Acked++
+			if status.Code == ApplyDuplicate {
+				ss.st.Duplicates++
+			}
+			if d.Seq > ss.st.LastAckedSeq {
+				ss.st.LastAckedSeq = d.Seq
+			}
+			ss.mu.Unlock()
+			ss.ackLat.Record(ackAt - at)
+			return ackAt, nil
+		case ApplyStale:
+			ss.mu.Lock()
+			ss.st.Stale++
+			ss.mu.Unlock()
+			return ackAt, ErrStale
+		case ApplyGap:
+			ss.mu.Lock()
+			ss.st.Gaps++
+			ss.mu.Unlock()
+			if !allowCatchup {
+				return ackAt, ErrLinkDown
+			}
+			return s.catchUp(ss, ackAt, status.LastSeq, d, snapFn)
+		}
+	}
+	ss.mu.Lock()
+	ss.st.Exhausted++
+	ss.mu.Unlock()
+	return last, ErrLinkDown
+}
+
+// catchUp closes a follower gap ending at d: replay the missing
+// deltas from the retained window when it covers them, otherwise
+// transfer a full-region snapshot.
+func (s *Shipper) catchUp(ss *shipShard, at time.Duration, folLast uint64, d *Delta, snapFn func() shard.Snapshot) (time.Duration, error) {
+	if replay, ok := ss.retainedRange(folLast+1, d.Seq); ok {
+		t := at
+		good := true
+		for _, rd := range replay {
+			var err error
+			if t, err = s.deliver(ss, t, rd, nil, false); err != nil {
+				good = false
+				at = t
+				break
+			}
+		}
+		if good {
+			return t, nil
+		}
+	}
+	snap, err := s.obtainSnapshot(ss, snapFn)
+	if err != nil {
+		return at, err
+	}
+	return s.sendSnapshot(ss, at, snap)
+}
+
+// obtainSnapshot produces the catch-up snapshot: from snapFn on the
+// calling worker goroutine (sync mode), or through the attached
+// service's worker queue. In the latter case the sender keeps
+// draining its own queue into the backlog meanwhile, so the shard
+// worker — possibly blocked on a full window — can always make
+// progress to serve the snapshot request: no deadlock.
+func (s *Shipper) obtainSnapshot(ss *shipShard, snapFn func() shard.Snapshot) (*shard.Snapshot, error) {
+	if snapFn != nil {
+		snap := snapFn()
+		return &snap, nil
+	}
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	if svc == nil {
+		return nil, ErrNotAttached
+	}
+	type res struct {
+		snap *shard.Snapshot
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		sn, err := svc.ShardSnapshot(ss.id)
+		ch <- res{sn, err}
+	}()
+	for {
+		select {
+		case r := <-ch:
+			return r.snap, r.err
+		case j := <-ss.queue:
+			ss.backlog = append(ss.backlog, j)
+		}
+	}
+}
+
+// sendSnapshot transfers a full-region snapshot with the same
+// loss/retry machinery as deltas.
+func (s *Shipper) sendSnapshot(ss *shipShard, at time.Duration, snap *shard.Snapshot) (time.Duration, error) {
+	fol := s.follower()
+	if fol == nil {
+		return at, ErrNotAttached
+	}
+	size := pagesWireSize(len(snap.Pages))
+	sendAt := at
+	last := at
+	for try := 0; try <= s.cfg.MaxRetries; try++ {
+		ss.mu.Lock()
+		if try > 0 {
+			ss.st.Retries++
+		}
+		ss.mu.Unlock()
+		arrive, ok := s.link.Deliver(sendAt, size)
+		last = arrive
+		if !ok {
+			ss.mu.Lock()
+			ss.st.LostDeltas++
+			ss.mu.Unlock()
+			sendAt = arrive + s.cfg.RetryTimeout
+			continue
+		}
+		ackReady, err := fol.ApplySnapshot(arrive, snap)
+		if err != nil {
+			return ackReady, err
+		}
+		ackAt, ok := s.link.Deliver(ackReady, ackWireBytes)
+		last = ackAt
+		if !ok {
+			ss.mu.Lock()
+			ss.st.LostAcks++
+			ss.mu.Unlock()
+			sendAt = ackAt + s.cfg.RetryTimeout
+			continue
+		}
+		ss.mu.Lock()
+		ss.st.Snapshots++
+		if snap.Seq > ss.st.LastAckedSeq {
+			ss.st.LastAckedSeq = snap.Seq
+		}
+		ss.mu.Unlock()
+		return ackAt, nil
+	}
+	ss.mu.Lock()
+	ss.st.Exhausted++
+	ss.mu.Unlock()
+	return last, ErrLinkDown
+}
+
+// Reconcile brings the connected follower to the attached service's
+// current position, shard by shard, starting at virtual time at:
+// shards already in sync are skipped, same-era laggards within the
+// retained window are caught up by delta replay, and everything else
+// — in particular a rejoined ex-primary whose era diverged — receives
+// a full-region snapshot that discards its stray epochs. Call it
+// after Connect when a demoted primary rejoins.
+func (s *Shipper) Reconcile(at time.Duration) error {
+	s.mu.Lock()
+	svc, fol := s.svc, s.fol
+	s.mu.Unlock()
+	if svc == nil || fol == nil {
+		return ErrNotAttached
+	}
+	for _, ss := range s.shards {
+		meta, err := svc.ShardMeta(ss.id)
+		if err != nil {
+			return err
+		}
+		fseq, fera := fol.LastApplied(ss.id)
+		if fera == meta.Era && fseq == meta.Seq {
+			continue
+		}
+		if fera == meta.Era && fseq < meta.Seq {
+			if replay, ok := ss.retainedRange(fseq+1, meta.Seq); ok {
+				t := at
+				good := true
+				for _, rd := range replay {
+					if t, err = s.deliver(ss, t, rd, nil, false); err != nil {
+						good = false
+						break
+					}
+				}
+				if good {
+					continue
+				}
+			}
+		}
+		snap, err := svc.ShardSnapshot(ss.id)
+		if err != nil {
+			return err
+		}
+		if _, err := s.sendSnapshot(ss, at, snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush blocks until every enqueued async delta has been processed.
+func (s *Shipper) Flush() { s.jobs.Wait() }
+
+// Stats snapshots every shard's pipeline counters.
+func (s *Shipper) Stats() []ShardRepStats {
+	out := make([]ShardRepStats, len(s.shards))
+	for i, ss := range s.shards {
+		ss.mu.Lock()
+		st := ss.st
+		ss.mu.Unlock()
+		st.Shard = i
+		st.AckLatency = ss.ackLat.Summarize()
+		out[i] = st
+	}
+	return out
+}
+
+// Close waits out in-flight async deltas and stops the senders.
+// Idempotent. Close the shard service first: its shutdown drain still
+// ships through this shipper.
+func (s *Shipper) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.jobs.Wait()
+	close(s.stop)
+	s.wg.Wait()
+	return nil
+}

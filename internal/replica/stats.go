@@ -1,0 +1,113 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func promSeconds(d time.Duration) string { return promFloat(d.Seconds()) }
+
+func promHeader(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+// FormatPrometheus writes the shipper's per-shard replication
+// counters to w in the Prometheus text exposition format, one
+// {shard="N"} series per metric. Deterministic for a given state, so
+// it can be golden-tested.
+func (s *Shipper) FormatPrometheus(w io.Writer) error {
+	stats := s.Stats()
+	type metric struct {
+		name, help, typ string
+		value           func(st *ShardRepStats) string
+	}
+	metrics := []metric{
+		{"memsnap_replica_shipped_total", "Delta transmissions, retransmissions included.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Shipped) }},
+		{"memsnap_replica_acked_total", "Deltas confirmed by the follower.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Acked) }},
+		{"memsnap_replica_duplicates_total", "Duplicate deliveries re-acked by the follower.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Duplicates) }},
+		{"memsnap_replica_retries_total", "Retransmissions after a lost delta or ack.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Retries) }},
+		{"memsnap_replica_lost_deltas_total", "Delta transmissions lost on the link.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.LostDeltas) }},
+		{"memsnap_replica_lost_acks_total", "Follower acks lost on the link.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.LostAcks) }},
+		{"memsnap_replica_gaps_total", "Follower gap reports.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Gaps) }},
+		{"memsnap_replica_snapshots_total", "Full-region catch-up transfers.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Snapshots) }},
+		{"memsnap_replica_stale_total", "Era rejections from the follower.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Stale) }},
+		{"memsnap_replica_exhausted_total", "Messages abandoned after the retry budget.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Exhausted) }},
+		{"memsnap_replica_unsent_total", "Deltas dropped with no follower connected.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Unsent) }},
+		{"memsnap_replica_last_acked_seq", "Highest sequence number the follower acked.", "gauge",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.LastAckedSeq) }},
+		{"memsnap_replica_ack_latency_seconds_mean", "Mean durability-to-follower-ack latency (virtual seconds).", "gauge",
+			func(st *ShardRepStats) string { return promSeconds(st.AckLatency.Mean) }},
+		{"memsnap_replica_ack_latency_seconds_p99", "99th percentile durability-to-follower-ack latency (virtual seconds).", "gauge",
+			func(st *ShardRepStats) string { return promSeconds(st.AckLatency.P99) }},
+	}
+	for _, m := range metrics {
+		if err := promHeader(w, m.name, m.help, m.typ); err != nil {
+			return err
+		}
+		for i := range stats {
+			st := &stats[i]
+			if _, err := fmt.Fprintf(w, "%s{shard=%q} %s\n", m.name, fmt.Sprint(st.Shard), m.value(st)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FormatPrometheus writes the follower's per-shard apply counters to
+// w in the Prometheus text exposition format.
+func (f *Follower) FormatPrometheus(w io.Writer) error {
+	stats := f.Stats()
+	type metric struct {
+		name, help, typ string
+		value           func(st *FollowerShardStats) string
+	}
+	metrics := []metric{
+		{"memsnap_follower_applied_total", "Deltas applied in sequence order.", "counter",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Applied) }},
+		{"memsnap_follower_duplicates_total", "Duplicate deltas re-acked idempotently.", "counter",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Duplicates) }},
+		{"memsnap_follower_gaps_total", "Out-of-sequence deltas reported as gaps.", "counter",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Gaps) }},
+		{"memsnap_follower_stale_total", "Deltas rejected from a superseded era.", "counter",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Stale) }},
+		{"memsnap_follower_snapshots_total", "Full-region snapshots installed.", "counter",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Snapshots) }},
+		{"memsnap_follower_last_seq", "Last fully applied sequence number.", "gauge",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.LastSeq) }},
+		{"memsnap_follower_era", "Replication era the shard follows.", "gauge",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Era) }},
+	}
+	for _, m := range metrics {
+		if err := promHeader(w, m.name, m.help, m.typ); err != nil {
+			return err
+		}
+		for i := range stats {
+			st := &stats[i]
+			if _, err := fmt.Fprintf(w, "%s{shard=%q} %s\n", m.name, fmt.Sprint(st.Shard), m.value(st)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

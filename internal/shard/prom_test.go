@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"memsnap/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files under testdata")
+
+// TestFormatPrometheusGolden pins the exposition format byte-for-byte
+// against a golden file: handcrafted stats in, deterministic text out.
+func TestFormatPrometheusGolden(t *testing.T) {
+	stats := []ShardStats{
+		{
+			Shard: 0, Ops: 10, Reads: 4, Writes: 6, Commits: 3,
+			BatchOccupancy: 2,
+			CommitLatency: sim.Summary{
+				Count: 3,
+				Mean:  1500 * time.Microsecond,
+				P50:   time.Millisecond,
+				P99:   2 * time.Millisecond,
+				Max:   2 * time.Millisecond,
+			},
+			QueueHighWater: 5, Rejected: 1,
+			Elapsed: 10 * time.Millisecond,
+		},
+		{
+			Shard: 1, Ops: 7, Reads: 7,
+			Elapsed: 2500 * time.Microsecond,
+		},
+	}
+	var buf bytes.Buffer
+	if err := FormatPrometheus(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("FormatPrometheus output drifted from %s (rerun with -update-golden after an intentional change)\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// promLineRe is the shape every non-comment exposition line must have.
+var promLineRe = regexp.MustCompile(`^[a-z0-9_]+\{shard="-?\d+"\} -?[0-9.e+-]+$`)
+
+// TestServiceFormatPrometheus runs the formatter against a live
+// service and checks the output is well-formed exposition text with
+// every metric present for every shard.
+func TestServiceFormatPrometheus(t *testing.T) {
+	sys := newSystem(t, 2)
+	svc, err := New(sys, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Put("t", "a", 5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := svc.FormatPrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series := 0
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		if !promLineRe.Match(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+		series++
+	}
+	const metrics = 10
+	if want := metrics * 2; series != want {
+		t.Errorf("got %d series lines, want %d (%d metrics x 2 shards)", series, want, metrics)
+	}
+}

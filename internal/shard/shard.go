@@ -68,6 +68,16 @@ const (
 	// opSum is internal: it reads the shard's manifest counters
 	// through the worker, serialized with applies.
 	opSum
+	// opMeta is internal: it reads the shard's replication metadata
+	// (commit seq, era, sum, epoch) through the worker.
+	opMeta
+	// opSnapshot is internal: it copies the shard's full region
+	// through the worker, serialized with applies, for replication
+	// catch-up transfers.
+	opSnapshot
+	// opDigest is internal: it computes the shard's page-level region
+	// digest through the worker.
+	opDigest
 )
 
 // Op is one client request.
@@ -91,6 +101,9 @@ type Response struct {
 	Epoch objstore.Epoch
 	// Err is the per-operation error, if any.
 	Err error
+
+	// snap carries the payload of internal metadata/snapshot probes.
+	snap *Snapshot
 }
 
 // Config sizes the service.
@@ -112,6 +125,17 @@ type Config struct {
 	// StartAt positions worker clocks at a virtual time, e.g. the
 	// recovery completion time returned by core.Recover.
 	StartAt time.Duration
+	// Era is the replication era stamped into every manifest the
+	// service commits. Failover bumps it (Promote opens the new
+	// primary with the highest era it has seen, plus one) so a
+	// divergent ex-primary can be detected and reconciled. Existing
+	// regions keep their stored era when it is higher.
+	Era uint64
+	// Replicator, when set, receives every group commit after it is
+	// locally durable; in synchronous replication the worker holds the
+	// client acks until the replicator returns. See the Replicator
+	// interface.
+	Replicator Replicator
 }
 
 func (c *Config) fill() {
@@ -141,6 +165,10 @@ type ShardRecovery struct {
 	Applied  uint64
 	Records  uint64
 	ValueSum uint64
+	// Seq and Era are the replication position the shard opened at:
+	// its group-commit counter and replication era.
+	Seq uint64
+	Era uint64
 	// ScanRecords and ScanSum are recomputed from the slot data; a
 	// consistent recovery has them equal to the manifest counters.
 	ScanRecords uint64
@@ -165,6 +193,11 @@ type Service struct {
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 	closeMu sync.Mutex
+	// submitMu serializes enqueue against Close's final drain: submit
+	// paths hold it shared around the closed-check plus enqueue, and
+	// Close takes it exclusively before draining, so a request can
+	// never slip into a queue after the drain and hang its caller.
+	submitMu sync.RWMutex
 }
 
 // request is an Op plus its response channel. ack buffers a write's
@@ -175,8 +208,10 @@ type request struct {
 	ack  Response
 }
 
-// regionName returns the fixed region name for a shard.
-func regionName(i int) string { return fmt.Sprintf("shardsvc/%03d", i) }
+// RegionName returns the fixed region name for a shard. Followers use
+// the same names in their own store so Promote can reopen the regions
+// through the standard recovery path.
+func RegionName(i int) string { return fmt.Sprintf("shardsvc/%03d", i) }
 
 // New opens the service over a MemSnap system, formatting fresh shard
 // regions or recovering existing ones. When regions pre-exist (e.g.
@@ -219,8 +254,8 @@ func open(sys *core.System, cfg Config) (*Service, error) {
 	for i := 0; i < cfg.Shards; i++ {
 		ctx := s.proc.NewContext(i)
 		ctx.Clock().AdvanceTo(cfg.StartAt)
-		pre := existing[regionName(i)]
-		region, err := s.proc.Open(ctx, regionName(i), cfg.RegionBytes)
+		pre := existing[RegionName(i)]
+		region, err := s.proc.Open(ctx, RegionName(i), cfg.RegionBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -239,13 +274,21 @@ func open(sys *core.System, cfg Config) (*Service, error) {
 			if err := sh.tab.load(i, cfg.Shards, cfg.RegionBytes); err != nil {
 				return nil, err
 			}
+			// A promoted service opens recovered regions under a newer
+			// era; regions already ahead (we were the follower of an
+			// even newer primary) keep their stored era.
+			if cfg.Era > sh.tab.man.era {
+				sh.tab.man.era = cfg.Era
+			}
 			rec.Epoch = region.Epoch()
 			rec.Applied = sh.tab.man.applied
 			rec.Records = sh.tab.man.live
 			rec.ValueSum = sh.tab.man.sum
+			rec.Seq = sh.tab.man.commits
+			rec.Era = sh.tab.man.era
 			rec.ScanRecords, rec.ScanSum = sh.tab.scan()
 		} else {
-			sh.tab.format(i, cfg.Shards, cfg.RegionBytes)
+			sh.tab.format(i, cfg.Shards, cfg.RegionBytes, cfg.Era)
 			// Make the empty manifest durable immediately so a crash
 			// before the first client write still recovers an
 			// initialized shard.
@@ -254,6 +297,13 @@ func open(sys *core.System, cfg Config) (*Service, error) {
 				return nil, err
 			}
 			rec.Epoch = epoch
+			rec.Era = cfg.Era
+		}
+		// Capture deltas only from here on: the format commit above is
+		// not shipped (a follower reconstructs it from the first
+		// captured delta, whose dirty set includes the manifest page).
+		if cfg.Replicator != nil {
+			ctx.CaptureCommits(true)
 		}
 		s.shards = append(s.shards, sh)
 		s.recovery = append(s.recovery, rec)
@@ -329,6 +379,34 @@ func (s *Service) route(op Op) (*shard, error) {
 	return sh, nil
 }
 
+// submit enqueues r on sh under the submit lock. Blocking submits wait
+// for queue space but abort with ErrClosed when the service stops;
+// non-blocking submits fail fast with ErrBackpressure.
+func (s *Service) submit(sh *shard, r *request, block bool) error {
+	s.submitMu.RLock()
+	defer s.submitMu.RUnlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if block {
+		sh.noteDepth(len(sh.queue) + 1)
+		select {
+		case sh.queue <- r:
+			return nil
+		case <-s.stop:
+			return ErrClosed
+		}
+	}
+	select {
+	case sh.queue <- r:
+		sh.noteDepth(len(sh.queue))
+		return nil
+	default:
+		sh.rejected.Add(1)
+		return ErrBackpressure
+	}
+}
+
 // DoAsync submits op and returns a channel that will receive its
 // response: immediately after apply for reads, after the group commit
 // is durable for writes. It blocks while the shard queue is full.
@@ -337,17 +415,11 @@ func (s *Service) DoAsync(op Op) (<-chan Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.closed.Load() {
-		return nil, ErrClosed
-	}
 	r := &request{op: op, resp: make(chan Response, 1)}
-	sh.noteDepth(len(sh.queue) + 1)
-	select {
-	case sh.queue <- r:
-		return r.resp, nil
-	case <-s.stop:
-		return nil, ErrClosed
+	if err := s.submit(sh, r, true); err != nil {
+		return nil, err
 	}
+	return r.resp, nil
 }
 
 // TryDoAsync is DoAsync with admission control: when the shard queue
@@ -357,18 +429,11 @@ func (s *Service) TryDoAsync(op Op) (<-chan Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.closed.Load() {
-		return nil, ErrClosed
-	}
 	r := &request{op: op, resp: make(chan Response, 1)}
-	select {
-	case sh.queue <- r:
-		sh.noteDepth(len(sh.queue))
-		return r.resp, nil
-	default:
-		sh.rejected.Add(1)
-		return nil, ErrBackpressure
+	if err := s.submit(sh, r, false); err != nil {
+		return nil, err
 	}
+	return r.resp, nil
 }
 
 // Do submits op and waits for its response.
@@ -420,20 +485,28 @@ func (s *Service) Transfer(tenant, from, to string, amount uint64) error {
 	return s.Do(Op{Kind: OpTransfer, Tenant: tenant, Key: from, Key2: to, Value: amount}).Err
 }
 
+// probe submits an internal read-only op to one shard and waits for
+// its response, serialized with in-flight applies.
+func (s *Service) probe(sh *shard, kind OpKind) (Response, error) {
+	r := &request{op: Op{Kind: kind}, resp: make(chan Response, 1)}
+	if err := s.submit(sh, r, true); err != nil {
+		return Response{}, err
+	}
+	resp := <-r.resp
+	if resp.Err != nil {
+		return Response{}, resp.Err
+	}
+	return resp, nil
+}
+
 // ShardSums reads every shard's manifest value sum through its worker
 // queue, serialized with in-flight applies.
 func (s *Service) ShardSums() ([]uint64, error) {
 	sums := make([]uint64, len(s.shards))
 	for i, sh := range s.shards {
-		r := &request{op: Op{Kind: opSum}, resp: make(chan Response, 1)}
-		select {
-		case sh.queue <- r:
-		case <-s.stop:
-			return nil, ErrClosed
-		}
-		resp := <-r.resp
-		if resp.Err != nil {
-			return nil, resp.Err
+		resp, err := s.probe(sh, opSum)
+		if err != nil {
+			return nil, err
 		}
 		sums[i] = resp.Value
 	}
@@ -455,10 +528,19 @@ func (s *Service) TotalValueSum() (uint64, error) {
 }
 
 // Close drains every shard, group-commits any buffered writes
-// synchronously, and stops the workers. Operations submitted after
-// Close fail with ErrClosed; Close must not race with in-flight
-// Submit calls from other goroutines (join clients first, as with
-// net/http.Server).
+// synchronously, and stops the workers. It is idempotent (subsequent
+// calls return nil immediately) and safe to call concurrently with
+// in-flight submissions and after a simulated crash (CutPower): the
+// final drain runs under the exclusive submit lock, so every racing
+// submission either lands before the drain and receives ErrClosed, or
+// observes the closed flag and fails with ErrClosed — no request is
+// ever silently lost.
+//
+// Note that after a CutPower the workers' final synchronous commits
+// write into the post-cut array; a crash test that wants the torn
+// state must Close first and cut at a virtual time bracketed by the
+// stats' LastCommitSubmit/LastCommitDurable, as TestCrashRecoveryMidCommit
+// does.
 func (s *Service) Close() error {
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
@@ -468,7 +550,10 @@ func (s *Service) Close() error {
 	close(s.stop)
 	s.wg.Wait()
 	// Reject any request that slipped into a queue after the workers
-	// drained it.
+	// drained it. The exclusive lock waits out submissions that passed
+	// the closed-check before it flipped; later ones fail the check.
+	s.submitMu.Lock()
+	defer s.submitMu.Unlock()
 	for _, sh := range s.shards {
 	drain:
 		for {

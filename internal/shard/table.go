@@ -41,6 +41,7 @@ const (
 	hdrApplied = 40 // u64 write operations applied since format
 	hdrSum     = 48 // u64 wrapping sum of all live values
 	hdrCommits = 56 // u64 group commits since format
+	hdrEra     = 64 // u64 replication era (bumped by failover Promote)
 )
 
 // Slot field offsets within the 64-byte slot.
@@ -63,6 +64,7 @@ type manifest struct {
 	applied uint64
 	sum     uint64
 	commits uint64
+	era     uint64
 }
 
 // table gives one shard's worker typed access to its region. It is
@@ -85,11 +87,12 @@ func tableSlots(regionBytes int64) uint64 {
 
 // format initializes a fresh shard region's manifest in memory. The
 // caller persists it via the first group commit.
-func (t *table) format(shardID, shards int, regionBytes int64) {
+func (t *table) format(shardID, shards int, regionBytes int64, era uint64) {
 	t.man = manifest{
 		shardID: uint32(shardID),
 		shards:  uint32(shards),
 		slots:   tableSlots(regionBytes),
+		era:     era,
 	}
 	t.writeManifest()
 }
@@ -109,6 +112,7 @@ func (t *table) load(shardID, shards int, regionBytes int64) error {
 		applied: binary.LittleEndian.Uint64(pg[hdrApplied:]),
 		sum:     binary.LittleEndian.Uint64(pg[hdrSum:]),
 		commits: binary.LittleEndian.Uint64(pg[hdrCommits:]),
+		era:     binary.LittleEndian.Uint64(pg[hdrEra:]),
 	}
 	if int(t.man.shardID) != shardID {
 		return fmt.Errorf("shard %d: region %q belongs to shard %d", shardID, t.region.Name(), t.man.shardID)
@@ -136,6 +140,51 @@ func (t *table) writeManifest() {
 	binary.LittleEndian.PutUint64(pg[hdrApplied:], t.man.applied)
 	binary.LittleEndian.PutUint64(pg[hdrSum:], t.man.sum)
 	binary.LittleEndian.PutUint64(pg[hdrCommits:], t.man.commits)
+	binary.LittleEndian.PutUint64(pg[hdrEra:], t.man.era)
+}
+
+// ManifestMeta reads the replication-relevant manifest counters from a
+// shard region through ctx: the group-commit sequence number, the
+// replication era, and the live value sum. ok is false when the region
+// carries no valid shard manifest (e.g. it was never committed).
+func ManifestMeta(ctx *core.Context, r *core.Region) (seq, era, sum uint64, ok bool) {
+	pg := ctx.PageForRead(r, 0)
+	if binary.LittleEndian.Uint64(pg[hdrMagic:]) != headerMagic {
+		return 0, 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(pg[hdrCommits:]),
+		binary.LittleEndian.Uint64(pg[hdrEra:]),
+		binary.LittleEndian.Uint64(pg[hdrSum:]),
+		true
+}
+
+// FormatRegion writes a fresh shard manifest into r and persists it
+// as one synchronous uCheckpoint — exactly the initial state New
+// gives a freshly formatted primary shard. A replication follower
+// formats its fresh regions with this so an idle shard (one that
+// never commits, hence never ships a delta) is still byte-identical
+// across replicas: format is a pure function of its arguments.
+func FormatRegion(ctx *core.Context, r *core.Region, shardID, shards int, regionBytes int64, era uint64) error {
+	t := table{ctx: ctx, region: r}
+	t.format(shardID, shards, regionBytes, era)
+	_, err := ctx.Persist(r, core.MSSync)
+	return err
+}
+
+// DigestRegion computes an FNV-1a digest over every page of a region
+// in index order — the page-level fingerprint replication tests use to
+// prove two replicas hold byte-identical contents. All reads go
+// through ctx so the cost lands on the caller's clock.
+func DigestRegion(ctx *core.Context, r *core.Region) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for off := int64(0); off < r.Len(); off += core.PageSize {
+		pg := ctx.PageForRead(r, off)
+		for _, b := range pg {
+			h = (h ^ uint64(b)) * prime
+		}
+	}
+	return h
 }
 
 // slotPage returns (page offset, byte offset within page) for slot i.

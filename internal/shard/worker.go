@@ -57,6 +57,7 @@ type pendingBatch struct {
 	epoch  objstore.Epoch
 	writes []*request
 	start  time.Duration // virtual time the batch began applying
+	commit *Commit       // captured delta, when a Replicator is attached
 }
 
 // run is the shard worker loop. One batch of IO may be in flight at a
@@ -180,7 +181,21 @@ func (sh *shard) apply(batch []*request) *pendingBatch {
 	sh.batchOps += writeOps
 	sh.lastSubmit = submitAt
 	sh.statsMu.Unlock()
-	return &pendingBatch{epoch: epoch, writes: writes, start: start}
+
+	// With a Replicator attached the Persist above captured the
+	// uCheckpoint's dirty pages; stamp them with the replication
+	// position the manifest page already carries.
+	var commit *Commit
+	if sh.svc.cfg.Replicator != nil {
+		c := Commit{Seq: sh.tab.man.commits, Era: sh.tab.man.era, Epoch: epoch}
+		for _, cc := range sh.ctx.TakeCaptured() {
+			c.Pages = append(c.Pages, cc.Pages...)
+		}
+		if len(c.Pages) > 0 {
+			commit = &c
+		}
+	}
+	return &pendingBatch{epoch: epoch, writes: writes, start: start, commit: commit}
 }
 
 // applyOne executes a single op. isWrite reports that the op dirtied
@@ -189,6 +204,21 @@ func (sh *shard) applyOne(op Op) (resp Response, isWrite bool) {
 	switch op.Kind {
 	case opSum:
 		return Response{Value: sh.tab.man.sum}, false
+	case opMeta:
+		return Response{
+			Value: sh.tab.man.sum,
+			snap: &Snapshot{
+				Shard: sh.id,
+				Seq:   sh.tab.man.commits,
+				Era:   sh.tab.man.era,
+				Epoch: sh.region.Epoch(),
+			},
+		}, false
+	case opSnapshot:
+		snap := sh.snapshot()
+		return Response{snap: &snap}, false
+	case opDigest:
+		return Response{Value: DigestRegion(sh.ctx, sh.region)}, false
 	case OpGet:
 		key, err := composeKey(op.Tenant, op.Key)
 		if err != nil {
@@ -241,17 +271,31 @@ type errUnknownOp OpKind
 
 func (e errUnknownOp) Error() string { return "shard: unknown op kind" }
 
-// retire waits for an in-flight group commit to become durable and
-// acknowledges its writers.
+// retire waits for an in-flight group commit to become durable, ships
+// its delta to the replicator, and acknowledges its writers. A
+// synchronous replicator returns the follower-ack time, so the acks
+// below — and the recorded commit latency — include the replication
+// round trip; a replication error is delivered in every write
+// response (the writes are locally durable but unconfirmed remotely).
 func (sh *shard) retire(b *pendingBatch) {
 	sh.ctx.Wait(sh.region, b.epoch)
+	durable := sh.ctx.Clock().Now()
+	var shipErr error
+	if rep := sh.svc.cfg.Replicator; rep != nil && b.commit != nil {
+		ackAt, err := rep.ShipCommit(sh.id, durable, *b.commit, sh.snapshot)
+		sh.ctx.Clock().AdvanceTo(ackAt)
+		shipErr = err
+	}
 	now := sh.ctx.Clock().Now()
 	sh.statsMu.Lock()
-	sh.lastDur = now
+	sh.lastDur = durable
 	sh.commitLat.Record(now - b.start)
 	sh.statsMu.Unlock()
 	for _, r := range b.writes {
 		r.ack.Epoch = b.epoch
+		if shipErr != nil {
+			r.ack.Err = shipErr
+		}
 		r.resp <- r.ack
 	}
 }

@@ -82,6 +82,14 @@ type CostModel struct {
 	// array in bytes.
 	StripeSize int
 
+	// --- Replication link ---
+
+	// LinkBaseLatency is the fixed one-way cost of a message on the
+	// simulated replication link (propagation plus NIC and protocol
+	// processing). Per-byte transfer cost is the package constant
+	// linkPerBytePicos; see LinkTransferCost.
+	LinkBaseLatency time.Duration
+
 	// --- File system / buffer cache (baselines) ---
 
 	// VFSLookup is the per-call overhead of the VFS layer (vnode
@@ -202,6 +210,8 @@ func DefaultCosts() *CostModel {
 		DiskSectorSize:  512,
 		StripeSize:      64 << 10,
 
+		LinkBaseLatency: 20 * time.Microsecond,
+
 		VFSLookup:         900 * time.Nanosecond,
 		BufferCacheLookup: 350 * time.Nanosecond,
 		BufferCacheInsert: 600 * time.Nanosecond,
@@ -251,4 +261,22 @@ func (m *CostModel) IOCost(n int) time.Duration {
 // MemcpyCost returns the cost of copying n bytes.
 func (m *CostModel) MemcpyCost(n int) time.Duration {
 	return time.Duration(int64(n) * int64(m.MemcpyPerKiB) / 1024)
+}
+
+// linkPerBytePicos is the replication link's per-byte transfer cost in
+// picoseconds: 0.8 ns/B, roughly a dedicated 10 GbE pipe. Like the
+// disk constant it lives outside CostModel because sub-nanosecond
+// rates cannot be expressed as a time.Duration.
+const linkPerBytePicos = 800
+
+// LinkTransferCost returns the serialization time of n bytes on the
+// replication link (bandwidth term only; see LinkCost).
+func (m *CostModel) LinkTransferCost(n int) time.Duration {
+	return time.Duration(int64(n) * linkPerBytePicos / 1000)
+}
+
+// LinkCost returns the full one-way cost of an n-byte message on the
+// replication link: base latency plus transfer.
+func (m *CostModel) LinkCost(n int) time.Duration {
+	return m.LinkBaseLatency + m.LinkTransferCost(n)
 }

@@ -6,20 +6,28 @@
 //	memsnap-bench -list
 //	memsnap-bench [-scale S] [-threads N] [-seed K] all
 //	memsnap-bench [-scale S] table6 fig3 ...
+//	memsnap-bench -json [-out BENCH_persist.json] [-scale S]
 //
 // Each experiment prints a table mirroring the paper's layout, with
 // notes recording the scaled-down workload parameters. Virtual-time
 // microseconds are directly comparable to the paper's measured
 // microseconds in shape (see EXPERIMENTS.md for the side-by-side).
+//
+// -json instead runs the real-machine persist hot-path benchmark
+// (internal/perfbench) and writes the machine-readable report; it
+// exits non-zero if steady-state persist allocations exceed the
+// committed ceiling, so CI can gate on it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"memsnap/internal/harness"
+	"memsnap/internal/perfbench"
 )
 
 func main() {
@@ -27,6 +35,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = harness default)")
 	threads := flag.Int("threads", 4, "worker threads for multi-threaded experiments")
 	seed := flag.Uint64("seed", 1, "workload RNG seed")
+	jsonBench := flag.Bool("json", false, "run the persist hot-path benchmark and write a JSON report")
+	out := flag.String("out", "BENCH_persist.json", "output path for the -json report")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>... | all\n\nflags:\n", os.Args[0])
 		flag.PrintDefaults()
@@ -36,6 +46,34 @@ func main() {
 		}
 	}
 	flag.Parse()
+
+	if *jsonBench {
+		rep, err := perfbench.Run(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, sc := range rep.Scenarios {
+			fmt.Printf("%-28s %8.1f allocs/op %12.0f B/op %12.0f ops/s  virt p50=%.1fus p99=%.1fus\n",
+				sc.Name, sc.AllocsPerOp, sc.BytesPerOp, sc.RealOpsPerSec, sc.VirtualP50Us, sc.VirtualP99Us)
+		}
+		fmt.Printf("report written to %s\n", *out)
+		if err := perfbench.CheckCeilings(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range harness.Registry() {

@@ -17,7 +17,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -154,14 +154,18 @@ type Process struct {
 
 	mu      sync.Mutex
 	regions map[string]*Region
+	// byMapping caches mapping→region resolution for the persist hot
+	// path (the old path linearly scanned regions per dirty record).
+	byMapping map[*vm.Mapping]*Region
 }
 
 // NewProcess creates a process on the system.
 func (sys *System) NewProcess() *Process {
 	return &Process{
-		sys:     sys,
-		as:      vm.NewAddressSpace(sys.costs, sys.phys, sys.tlbs),
-		regions: make(map[string]*Region),
+		sys:       sys,
+		as:        vm.NewAddressSpace(sys.costs, sys.phys, sys.tlbs),
+		regions:   make(map[string]*Region),
+		byMapping: make(map[*vm.Mapping]*Region),
 	}
 }
 
@@ -283,6 +287,7 @@ func (p *Process) Open(ctx *Context, name string, length int64) (*Region, error)
 		return nil, err
 	}
 	p.regions[name] = r
+	p.byMapping[r.mapping] = r
 	return r, nil
 }
 
@@ -314,6 +319,7 @@ func (p *Process) OpenShared(ctx *Context, other *Region) (*Region, error) {
 		return nil, err
 	}
 	p.regions[other.Name()] = r
+	p.byMapping[r.mapping] = r
 	return r, nil
 }
 
@@ -325,7 +331,16 @@ func (p *Process) Region(name string) *Region {
 }
 
 // sortRecordsByAddr orders dirty records for stable, mostly
-// sequential store commits.
+// sequential store commits. slices.SortFunc does not allocate, unlike
+// sort.Slice's interface boxing.
 func sortRecordsByAddr(records []vm.DirtyRecord) {
-	sort.Slice(records, func(i, j int) bool { return records[i].Addr < records[j].Addr })
+	slices.SortFunc(records, func(a, b vm.DirtyRecord) int {
+		switch {
+		case a.Addr < b.Addr:
+			return -1
+		case a.Addr > b.Addr:
+			return 1
+		}
+		return 0
+	})
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"time"
 
+	"memsnap/internal/mem"
 	"memsnap/internal/objstore"
+	"memsnap/internal/pool"
 	"memsnap/internal/sim"
 	"memsnap/internal/vm"
 )
@@ -22,10 +24,29 @@ type Context struct {
 	// committed page so replication can ship the uCheckpoint delta.
 	capture  bool
 	captured []CapturedCommit
+	// capturedSpare is the second half of the TakeCaptured double
+	// buffer: captures fill one slice while the caller consumes the
+	// other.
+	capturedSpare []CapturedCommit
+
+	// Scratch buffers reused across Persist calls. A Context belongs
+	// to one thread, so they need no locking; together with the page
+	// and slice pools they make the steady-state persist path
+	// allocation-free.
+	records  []vm.DirtyRecord
+	vpns     []uint64
+	snaps    [][]byte
+	rws      []regionWrites
+	holdFree [][]*mem.Page
 
 	// LastBreakdown records the phase timing of the most recent
 	// Persist call (Tables 5 and 10).
 	LastBreakdown PersistBreakdown
+
+	// StageTotals accumulates the msnap_persist phase timings across
+	// all Persist/Wait calls on the context (exported via the shard
+	// Prometheus exposition).
+	StageTotals PersistStageTotals
 
 	// Persists counts Persist calls; PersistLatency records their
 	// caller-visible latency (sync: to durability; async: to return).
@@ -34,17 +55,70 @@ type Context struct {
 }
 
 type pendingCheckpoint struct {
+	region *Region
+	epoch  objstore.Epoch
+	done   time.Duration
+	// hold carries the checkpoint-in-progress pages for the checkpoint
+	// that completes last in its Persist call; nil elsewhere. Released
+	// (flags cleared, buffer recycled) when the checkpoint is durable.
+	hold []*mem.Page
+}
+
+// regionWrites groups one Persist call's blocks by region. Entries
+// live in Context.rws and are reused call to call, preserving the
+// blocks capacity; the per-call small-slice linear lookup replaces the
+// old per-call map[*vm.Mapping]*regionWrites.
+type regionWrites struct {
+	mapping *vm.Mapping
 	region  *Region
+	blocks  []objstore.BlockWrite
 	epoch   objstore.Epoch
 	done    time.Duration
-	release func()
+}
+
+// PersistStageTotals is the cumulative msnap_persist breakdown:
+// virtual time spent per phase, summed over every Persist (and Wait,
+// for WaitIO) on a context.
+type PersistStageTotals struct {
+	ResetTracking  time.Duration
+	InitiateWrites time.Duration
+	WaitIO         time.Duration
+}
+
+// acquireHold returns a recycled checkpoint-hold buffer, or nil (the
+// append in MarkCheckpointPages then allocates one that will be
+// recycled on release).
+func (ctx *Context) acquireHold() []*mem.Page {
+	if n := len(ctx.holdFree); n > 0 {
+		h := ctx.holdFree[n-1]
+		ctx.holdFree = ctx.holdFree[:n-1]
+		return h
+	}
+	return nil
+}
+
+// releaseHold clears the checkpoint-in-progress flags and recycles the
+// buffer. Safe on nil.
+func (ctx *Context) releaseHold(pages []*mem.Page) {
+	if pages == nil {
+		return
+	}
+	vm.ClearCheckpointPages(pages)
+	clear(pages)
+	ctx.holdFree = append(ctx.holdFree, pages[:0])
 }
 
 // CommittedPage is a copy of one page of a committed uCheckpoint,
-// identified by its block index within the region.
+// identified by its block index within the region. Data lives in a
+// pooled page buffer: the holder releases it through
+// CapturedCommit.Release or ReleasePages when done.
 type CommittedPage struct {
 	Index int64
 	Data  []byte
+
+	// pg is the pooled buffer backing Data; nil when Data is an
+	// ordinary heap slice (snapshots, tests).
+	pg *pool.Page
 }
 
 // CapturedCommit records one region's share of a Persist call: the
@@ -65,15 +139,22 @@ type CapturedCommit struct {
 func (ctx *Context) CaptureCommits(on bool) {
 	ctx.capture = on
 	if !on {
-		ctx.captured = nil
+		for i := range ctx.captured {
+			ctx.captured[i].Release()
+		}
+		ctx.captured = ctx.captured[:0]
 	}
 }
 
 // TakeCaptured returns the commits captured since the last call and
-// clears the buffer. Commits appear in Persist order.
+// clears the buffer. Commits appear in Persist order. Page data stays
+// valid until the commit is Released, but the returned slice itself is
+// reused for later captures once TakeCaptured is called again — the
+// caller consumes (or copies) it before the next call.
 func (ctx *Context) TakeCaptured() []CapturedCommit {
 	out := ctx.captured
-	ctx.captured = nil
+	ctx.captured = ctx.capturedSpare[:0]
+	ctx.capturedSpare = out
 	return out
 }
 
@@ -171,15 +252,15 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 	}
 
 	// Gather the dirty set: the caller's, or everyone's with
-	// MSGlobal.
-	var records []vm.DirtyRecord
+	// MSGlobal. The records buffer is context scratch, reused call to
+	// call.
+	records := ctx.records[:0]
 	if flags&MSGlobal != 0 {
-		for _, th := range as.Threads() {
-			records = append(records, th.TakeDirty(m)...)
-		}
+		records = as.TakeDirtyAllInto(m, records)
 	} else {
-		records = ctx.th.TakeDirty(m)
+		records = ctx.th.TakeDirtyInto(m, records)
 	}
+	ctx.records = records
 	if len(records) == 0 {
 		ctx.Persists++
 		lat := clk.Now() - start
@@ -193,33 +274,46 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 	// write-protect them through the trace buffer, shoot down stale
 	// TLB entries.
 	resetStart := clk.Now()
-	release := as.MarkCheckpointInProgress(records)
-	vpns := as.ResetProtectionsTrace(clk, records)
+	hold := as.MarkCheckpointPages(records, ctx.acquireHold())
+	vpns := as.ResetProtectionsTraceInto(clk, records, ctx.vpns[:0])
+	ctx.vpns = vpns
 	proc.sys.tlbs.Invalidate(clk, vpns)
 	resetDur := clk.Now() - resetStart
 
 	// Phase 2 — initiate writes: snapshot page contents (aliases,
 	// protected by the unified COW) and build per-region block lists.
 	initStart := clk.Now()
-	snaps := as.SnapshotPages(records)
+	snaps := as.SnapshotPagesInto(records, ctx.snaps[:0])
+	ctx.snaps = snaps
 	clk.Advance(costs.PersistInitiateIO + costs.PersistPerPage*time.Duration(len(records)))
 
-	type regionWrites struct {
-		region *Region
-		blocks []objstore.BlockWrite
-	}
-	byRegion := make(map[*vm.Mapping]*regionWrites)
-	var order []*regionWrites
+	// Group blocks by region. Persist calls touch at most a handful of
+	// regions, so a linear scan over the used prefix of the reusable
+	// ctx.rws entries beats the old per-call map.
+	nrw := 0
 	for i, rec := range records {
-		rw := byRegion[rec.Mapping]
+		var rw *regionWrites
+		for j := 0; j < nrw; j++ {
+			if ctx.rws[j].mapping == rec.Mapping {
+				rw = &ctx.rws[j]
+				break
+			}
+		}
 		if rw == nil {
 			reg := proc.regionByMapping(rec.Mapping)
 			if reg == nil {
+				ctx.releaseHold(hold)
 				return 0, fmt.Errorf("core: dirty page in non-region mapping %q", rec.Mapping.Name)
 			}
-			rw = &regionWrites{region: reg}
-			byRegion[rec.Mapping] = rw
-			order = append(order, rw)
+			if nrw < len(ctx.rws) {
+				rw = &ctx.rws[nrw]
+				rw.mapping, rw.region = rec.Mapping, reg
+				rw.blocks = rw.blocks[:0]
+			} else {
+				ctx.rws = append(ctx.rws, regionWrites{mapping: rec.Mapping, region: reg})
+				rw = &ctx.rws[nrw]
+			}
+			nrw++
 		}
 		rw.blocks = append(rw.blocks, objstore.BlockWrite{
 			Index: int64((rec.Addr - rec.Mapping.Start) / PageSize),
@@ -229,60 +323,49 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 	initDur := clk.Now() - initStart
 
 	// Phase 3 — commit each region's uCheckpoint. Different regions
-	// commit independently (per-object epochs).
+	// commit independently (per-object epochs). The in-progress flags
+	// cover pages across all committed regions, so the hold attaches
+	// to the checkpoint that completes last (attachIdx).
 	submitAt := clk.Now()
 	var lastEpoch objstore.Epoch
 	var lastDone time.Duration
-	type committed struct {
-		region *Region
-		epoch  objstore.Epoch
-		done   time.Duration
-	}
-	var commits []committed
-	for _, rw := range order {
+	attachIdx := 0
+	for i := 0; i < nrw; i++ {
+		rw := &ctx.rws[i]
 		epoch, done, err := rw.region.obj.Commit(submitAt, rw.blocks)
 		if err != nil {
-			release()
+			ctx.releaseHold(hold)
 			return 0, err
 		}
+		rw.epoch, rw.done = epoch, done
 		lastEpoch = epoch
 		if done > lastDone {
 			lastDone = done
+			attachIdx = i
 		}
-		commits = append(commits, committed{region: rw.region, epoch: epoch, done: done})
 	}
-	// The in-progress flags cover pages across all committed regions,
-	// so attach the release to the checkpoint that completes last.
-	for _, c := range commits {
-		rel := func() {}
-		if c.done == lastDone {
-			rel = release
-			lastDone = -1 // attach exactly once
+	for i := 0; i < nrw; i++ {
+		rw := &ctx.rws[i]
+		pc := pendingCheckpoint{region: rw.region, epoch: rw.epoch, done: rw.done}
+		if i == attachIdx {
+			pc.hold = hold
 		}
-		ctx.pending = append(ctx.pending, pendingCheckpoint{
-			region:  c.region,
-			epoch:   c.epoch,
-			done:    c.done,
-			release: rel,
-		})
-	}
-	lastDone = 0
-	for _, c := range commits {
-		if c.done > lastDone {
-			lastDone = c.done
-		}
+		ctx.pending = append(ctx.pending, pc)
 	}
 
 	// Capture the delta while the snapshot aliases are still pinned by
-	// the in-progress flags: copies, so the captured pages stay valid
-	// after the checkpoint releases.
+	// the in-progress flags: copies into pooled pages, so the captured
+	// data stays valid after the checkpoint releases (until the holder
+	// Releases the commit).
 	if ctx.capture {
-		for i, rw := range order {
-			cc := CapturedCommit{Region: rw.region, Epoch: commits[i].epoch}
+		for i := 0; i < nrw; i++ {
+			rw := &ctx.rws[i]
+			cc := CapturedCommit{Region: rw.region, Epoch: rw.epoch, Pages: GetCommittedPages(len(rw.blocks))}
 			for _, b := range rw.blocks {
-				data := make([]byte, len(b.Data))
+				pg := capturePagePool.Get()
+				data := pg.Data[:len(b.Data)]
 				copy(data, b.Data)
-				cc.Pages = append(cc.Pages, CommittedPage{Index: b.Index, Data: data})
+				cc.Pages = append(cc.Pages, CommittedPage{Index: b.Index, Data: data, pg: pg})
 			}
 			ctx.captured = append(ctx.captured, cc)
 		}
@@ -295,6 +378,8 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 		InitiateWrites: initDur,
 		Pages:          len(records),
 	}
+	ctx.StageTotals.ResetTracking += resetDur
+	ctx.StageTotals.InitiateWrites += initDur
 
 	if flags&MSAsync != 0 {
 		breakdown.Total = clk.Now() - start
@@ -308,22 +393,19 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 	clk.AdvanceTo(lastDone)
 	breakdown.WaitIO = clk.Now() - submitAt
 	breakdown.Total = clk.Now() - start
+	ctx.StageTotals.WaitIO += breakdown.WaitIO
 	ctx.LastBreakdown = breakdown
 	ctx.PersistLatency.Record(breakdown.Total)
 	ctx.sweepCompleted()
 	return lastEpoch, nil
 }
 
-// regionByMapping resolves a mapping back to its region.
+// regionByMapping resolves a mapping back to its region through the
+// process's byMapping cache (maintained by Open/OpenShared).
 func (p *Process) regionByMapping(m *vm.Mapping) *Region {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, r := range p.regions {
-		if r.mapping == m {
-			return r
-		}
-	}
-	return nil
+	return p.byMapping[m]
 }
 
 // sweepCompleted releases checkpoint-in-progress flags for pending
@@ -333,7 +415,7 @@ func (ctx *Context) sweepCompleted() {
 	kept := ctx.pending[:0]
 	for _, pc := range ctx.pending {
 		if pc.done <= now {
-			pc.release()
+			ctx.releaseHold(pc.hold)
 		} else {
 			kept = append(kept, pc)
 		}
@@ -347,17 +429,19 @@ func (ctx *Context) sweepCompleted() {
 func (ctx *Context) Wait(r *Region, epoch objstore.Epoch) {
 	clk := ctx.th.Clock()
 	clk.Advance(ctx.proc.sys.costs.SyscallEntry)
+	waitStart := clk.Now()
 	kept := ctx.pending[:0]
 	for _, pc := range ctx.pending {
 		match := r == nil || (pc.region == r && pc.epoch <= epoch)
 		if match {
 			clk.AdvanceTo(pc.done)
-			pc.release()
+			ctx.releaseHold(pc.hold)
 		} else {
 			kept = append(kept, pc)
 		}
 	}
 	ctx.pending = kept
+	ctx.StageTotals.WaitIO += clk.Now() - waitStart
 }
 
 // OutstandingCheckpoints reports how many async uCheckpoints have not

@@ -1,6 +1,7 @@
 package disk
 
 import (
+	"sync"
 	"time"
 
 	"memsnap/internal/sim"
@@ -59,11 +60,8 @@ func (a *Array) Write(at time.Duration, offset int64, data []byte) time.Duration
 // share, paying one base latency plus the transfer of its bytes. The
 // returned completion is the time the last device finishes.
 func (a *Array) WriteV(at time.Duration, extents []Extent) time.Duration {
-	type devIO struct {
-		segs []Extent
-		size int
-	}
-	perDev := make([]devIO, len(a.devices))
+	plan := getWritePlan(len(a.devices))
+	perDev := plan.perDev
 	for _, e := range extents {
 		off := e.Offset
 		data := e.Data
@@ -98,7 +96,47 @@ func (a *Array) WriteV(at time.Duration, extents []Extent) time.Duration {
 	if completion == 0 {
 		completion = at
 	}
+	putWritePlan(plan)
 	return completion
+}
+
+// devIO is one device's share of a vectored write.
+type devIO struct {
+	segs []Extent
+	size int
+}
+
+// writePlan is the reusable per-WriteV scatter plan; the devices copy
+// segment data synchronously during submit, so the plan recycles as
+// soon as WriteV returns.
+type writePlan struct {
+	perDev []devIO
+}
+
+var writePlans sync.Pool
+
+func getWritePlan(devices int) *writePlan {
+	p, _ := writePlans.Get().(*writePlan)
+	if p == nil {
+		p = &writePlan{}
+	}
+	if cap(p.perDev) < devices {
+		p.perDev = make([]devIO, devices)
+	}
+	p.perDev = p.perDev[:devices]
+	for i := range p.perDev {
+		p.perDev[i].segs = p.perDev[i].segs[:0]
+		p.perDev[i].size = 0
+	}
+	return p
+}
+
+func putWritePlan(p *writePlan) {
+	// Drop the data references so the pooled plan does not pin frames.
+	for i := range p.perDev {
+		clear(p.perDev[i].segs)
+	}
+	writePlans.Put(p)
 }
 
 // submitWriteV applies several segments as one device command.
@@ -113,9 +151,9 @@ func (d *Device) submitWriteV(at time.Duration, segs []Extent, total int) time.D
 	d.nextFree = completion
 	for _, s := range segs {
 		d.checkRange(s.Offset, len(s.Data))
-		old := make([]byte, len(s.Data))
+		buf, old := getOldBuf(len(s.Data))
 		d.data.readAt(s.Offset, old)
-		d.inflight = append(d.inflight, inflightWrite{submit: at, completion: completion, offset: s.Offset, oldData: old})
+		d.inflight = append(d.inflight, inflightWrite{submit: at, completion: completion, offset: s.Offset, oldData: old, buf: buf})
 		d.data.writeAt(s.Offset, s.Data)
 		d.bytesWritten += int64(len(s.Data))
 	}

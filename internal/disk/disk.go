@@ -23,8 +23,32 @@ import (
 	"sync"
 	"time"
 
+	"memsnap/internal/pool"
 	"memsnap/internal/sim"
 )
+
+// Size-classed pools for the pre-write contents snapshots (oldData)
+// the tear model keeps per in-flight write. The two classes cover the
+// store's IO units (sectors and blocks); larger writes fall back to
+// plain allocation.
+var (
+	oldBufSector = pool.NewPagePool(512)
+	oldBufBlock  = pool.NewPagePool(4096)
+)
+
+// getOldBuf returns an n-byte scratch buffer plus its pool handle
+// (nil when n falls outside the pooled size classes).
+func getOldBuf(n int) (*pool.Page, []byte) {
+	switch {
+	case n <= 512:
+		pg := oldBufSector.Get()
+		return pg, pg.Data[:n]
+	case n <= 4096:
+		pg := oldBufBlock.Get()
+		return pg, pg.Data[:n]
+	}
+	return nil, make([]byte, n)
+}
 
 // Device is one simulated SSD.
 type Device struct {
@@ -46,6 +70,9 @@ type inflightWrite struct {
 	completion time.Duration
 	offset     int64
 	oldData    []byte
+	// buf is oldData's pool handle, released when the record is
+	// dropped (gc or power cut); nil for unpooled buffers.
+	buf *pool.Page
 }
 
 // NewDevice returns an empty device of the given capacity in bytes.
@@ -85,9 +112,9 @@ func (d *Device) SubmitWrite(at time.Duration, offset int64, data []byte) time.D
 	completion := start + d.costs.DiskBaseLatency + d.costs.TransferCost(len(data))
 	d.nextFree = completion
 
-	old := make([]byte, len(data))
+	buf, old := getOldBuf(len(data))
 	d.data.readAt(offset, old)
-	d.inflight = append(d.inflight, inflightWrite{submit: at, completion: completion, offset: offset, oldData: old})
+	d.inflight = append(d.inflight, inflightWrite{submit: at, completion: completion, offset: offset, oldData: old, buf: buf})
 	d.data.writeAt(offset, data)
 
 	d.writes++
@@ -128,8 +155,13 @@ func (d *Device) gcInflightLocked(at time.Duration) {
 	for _, w := range d.inflight {
 		if w.completion > at {
 			kept = append(kept, w)
+		} else {
+			w.buf.Release()
 		}
 	}
+	// Zero the dropped tail so the backing array does not retain
+	// released buffers.
+	clear(d.inflight[len(kept):])
 	d.inflight = kept
 }
 
@@ -162,6 +194,9 @@ func (d *Device) CutPower(at time.Duration, rng *sim.RNG) {
 			}
 			d.data.writeAt(w.offset+int64(s), w.oldData[s:end])
 		}
+	}
+	for i := range d.inflight {
+		d.inflight[i].buf.Release()
 	}
 	d.inflight = nil
 	d.nextFree = 0

@@ -415,10 +415,18 @@ func TestReplicaShape(t *testing.T) {
 		return v
 	}
 	for _, row := range res.Rows {
+		// On a clean link every delta is acked exactly once, but the
+		// async sender coalesces consecutive deltas into batched link
+		// messages, so messages shipped can be fewer than deltas acked.
+		// Sync mode never batches: there the counts match exactly.
 		shipped, acked := parse(row[5]), parse(row[6])
-		if shipped <= 0 || shipped != acked {
-			t.Fatalf("%s/%s: shipped %v acked %v, want equal and positive after flush on a clean link",
+		if shipped <= 0 || shipped > acked {
+			t.Fatalf("%s/%s: shipped %v acked %v, want 0 < shipped <= acked after flush on a clean link",
 				row[0], row[1], shipped, acked)
+		}
+		if row[0] == "sync" && shipped != acked {
+			t.Fatalf("sync/%s: shipped %v acked %v, want equal (no batching in sync mode)",
+				row[1], shipped, acked)
 		}
 		if snaps := parse(row[9]); snaps != 0 {
 			t.Fatalf("%s/%s: %v snapshots on a clean link, want 0", row[0], row[1], snaps)

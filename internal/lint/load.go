@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -192,7 +193,10 @@ func (l *Loader) LoadDir(dir, ipath string) ([]*Package, error) {
 	return pkgs, nil
 }
 
-// parseDir parses every .go file directly in dir, in name order.
+// parseDir parses every .go file directly in dir that satisfies the
+// default build constraints, in name order. Honoring //go:build lines
+// matters: tag-gated twins (e.g. a race / !race constant pair) would
+// otherwise both land in one type-check and collide.
 func (l *Loader) parseDir(dir string) ([]*File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -203,6 +207,9 @@ func (l *Loader) parseDir(dir string) ([]*File, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		af, err := l.parseFile(filepath.Join(dir, name))

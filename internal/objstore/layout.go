@@ -3,7 +3,6 @@ package objstore
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 )
 
 // On-disk layout.
@@ -40,10 +39,19 @@ func dataStart() int64 {
 	return off
 }
 
+// checksum is FNV-1a inlined (identical to hash/fnv's 64-bit variant)
+// so the commit hot path does not allocate a hasher per record.
 func checksum(b []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(b)
-	return h.Sum64()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
 }
 
 // superblock is written once at format time.
@@ -172,12 +180,18 @@ type commitRecord struct {
 
 func (r *commitRecord) marshal() []byte {
 	buf := make([]byte, sectorSize)
+	r.marshalInto(buf)
+	return buf
+}
+
+// marshalInto writes the record into a caller-owned sector buffer.
+func (r *commitRecord) marshalInto(buf []byte) {
+	clear(buf[:sectorSize])
 	binary.LittleEndian.PutUint64(buf[0:], r.Magic)
 	binary.LittleEndian.PutUint64(buf[8:], r.Epoch)
 	binary.LittleEndian.PutUint64(buf[16:], uint64(r.RootAddr))
 	binary.LittleEndian.PutUint64(buf[24:], uint64(r.Levels))
 	binary.LittleEndian.PutUint64(buf[32:], checksum(buf[:32]))
-	return buf
 }
 
 func unmarshalCommitRecord(buf []byte) (*commitRecord, bool) {
@@ -199,10 +213,16 @@ func unmarshalCommitRecord(buf []byte) (*commitRecord, bool) {
 // marshalNode serializes a tree node: 512 child addresses.
 func marshalNode(children []int64) []byte {
 	buf := make([]byte, BlockSize)
+	marshalNodeInto(buf, children)
+	return buf
+}
+
+// marshalNodeInto serializes a tree node into a caller-owned
+// BlockSize buffer.
+func marshalNodeInto(buf []byte, children []int64) {
 	for i, c := range children {
 		binary.LittleEndian.PutUint64(buf[i*8:], uint64(c))
 	}
-	return buf
 }
 
 func unmarshalNode(buf []byte) []int64 {

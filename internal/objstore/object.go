@@ -21,6 +21,40 @@ type Object struct {
 	mu    sync.Mutex
 	tree  *tree
 	epoch Epoch
+	sc    commitScratch
+}
+
+// commitScratch holds per-object buffers reused across Commit calls
+// (safe under o.mu), keeping the steady-state commit path
+// allocation-free.
+type commitScratch struct {
+	freed   []int64
+	extents []disk.Extent
+	// nodeBufs are BlockSize marshal buffers for dirty tree nodes;
+	// nused counts how many are handed out this commit. The buffers
+	// must stay live until WriteV returns (the disk copies
+	// synchronously), so they cannot be shared across nodes.
+	nodeBufs [][]byte
+	nused    int
+	recBuf   []byte // commit-record sector scratch
+}
+
+func (sc *commitScratch) reset() {
+	sc.freed = sc.freed[:0]
+	sc.extents = sc.extents[:0]
+	sc.nused = 0
+}
+
+func (sc *commitScratch) nodeBuf() []byte {
+	if sc.nused < len(sc.nodeBufs) {
+		b := sc.nodeBufs[sc.nused]
+		sc.nused++
+		return b
+	}
+	b := make([]byte, BlockSize)
+	sc.nodeBufs = append(sc.nodeBufs, b)
+	sc.nused++
+	return b
 }
 
 // BlockWrite is one dirty block in a commit.
@@ -74,13 +108,13 @@ func (o *Object) Commit(at time.Duration, writes []BlockWrite) (Epoch, time.Dura
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	var freed []int64
-	extents := make([]disk.Extent, 0, len(writes)+4)
+	sc := &o.sc
+	sc.reset()
 
 	// Data blocks: fresh space, sequential on disk thanks to the bump
 	// allocator — this is how random object updates become sequential
-	// writes.
-	dirtyNodes := make(map[*node]bool)
+	// writes. tree.set marks the touched path dirty for the COW
+	// rewrite below.
 	for _, w := range writes {
 		addr, err := s.alloc.alloc(at)
 		if err != nil {
@@ -92,65 +126,74 @@ func (o *Object) Commit(at time.Duration, writes []BlockWrite) (Epoch, time.Dura
 			copy(padded, data)
 			data = padded
 		}
-		extents = append(extents, disk.Extent{Offset: addr, Data: data})
+		sc.extents = append(sc.extents, disk.Extent{Offset: addr, Data: data})
 		if old := o.tree.set(w.Index, addr); old != 0 {
-			freed = append(freed, old)
-		}
-		for _, n := range o.tree.pathNodes(w.Index) {
-			dirtyNodes[n] = true
+			sc.freed = append(sc.freed, old)
 		}
 	}
 
 	// COW the dirtied tree path: every dirty node moves to a new
-	// address; parents pick up the new child addresses. Serialize
-	// bottom-up via recursion from the root.
-	var serialize func(n *node, levelsLeft int) (int64, error)
-	serialize = func(n *node, levelsLeft int) (int64, error) {
-		if levelsLeft > 1 {
-			for i, kid := range n.kids {
-				if kid == nil || !dirtyNodes[kid] {
-					continue
-				}
-				addr, err := serialize(kid, levelsLeft-1)
-				if err != nil {
-					return 0, err
-				}
-				n.children[i] = addr
-			}
-		}
-		if n.addr != 0 {
-			freed = append(freed, n.addr)
-		}
-		addr, err := s.alloc.alloc(at)
-		if err != nil {
-			return 0, err
-		}
-		n.addr = addr
-		extents = append(extents, disk.Extent{Offset: addr, Data: marshalNode(n.children)})
-		return addr, nil
-	}
-	rootAddr, err := serialize(o.tree.root, o.tree.levels)
+	// address; parents pick up the new child addresses, bottom-up from
+	// the root.
+	rootAddr, err := o.serializeNode(at, o.tree.root, o.tree.levels)
 	if err != nil {
 		return 0, at, err
 	}
 
 	// Phase 1: data + tree nodes as one vectored IO.
-	done := s.arr.WriteV(at, extents)
+	done := s.arr.WriteV(at, sc.extents)
 
 	// Phase 2: the commit record, ordered after phase 1.
 	o.epoch++
-	rec := &commitRecord{
+	rec := commitRecord{
 		Magic:    magicObjRec,
 		Epoch:    uint64(o.epoch),
 		RootAddr: rootAddr,
 		Levels:   int64(o.tree.levels),
 	}
+	if sc.recBuf == nil {
+		sc.recBuf = make([]byte, sectorSize)
+	}
+	rec.marshalInto(sc.recBuf)
 	slot := int64(uint64(o.epoch) % objRingSlots)
-	done = s.arr.Write(done, o.ringOff+slot*sectorSize, rec.marshal())
+	done = s.arr.Write(done, o.ringOff+slot*sectorSize, sc.recBuf)
 
 	// Replaced blocks become reusable once this commit is durable.
-	s.alloc.freeAt(freed, done)
+	s.alloc.freeAt(sc.freed, done)
 	return o.epoch, done, nil
+}
+
+// serializeNode rewrites n (and, recursively, its dirty descendants)
+// to fresh disk addresses, clearing the dirty flags. Returns n's new
+// address.
+func (o *Object) serializeNode(at time.Duration, n *node, levelsLeft int) (int64, error) {
+	s := o.store
+	sc := &o.sc
+	if levelsLeft > 1 {
+		for i, kid := range n.kids {
+			if kid == nil || !kid.dirty {
+				continue
+			}
+			addr, err := o.serializeNode(at, kid, levelsLeft-1)
+			if err != nil {
+				return 0, err
+			}
+			n.children[i] = addr
+		}
+	}
+	n.dirty = false
+	if n.addr != 0 {
+		sc.freed = append(sc.freed, n.addr)
+	}
+	addr, err := s.alloc.alloc(at)
+	if err != nil {
+		return 0, err
+	}
+	n.addr = addr
+	buf := sc.nodeBuf()
+	marshalNodeInto(buf, n.children)
+	sc.extents = append(sc.extents, disk.Extent{Offset: addr, Data: buf})
+	return addr, nil
 }
 
 // ReadBlock fills dst with block idx's contents (zeroes if the block

@@ -11,6 +11,10 @@ type node struct {
 	addr     int64 // disk address of the serialized form of this node
 	children []int64
 	kids     []*node // interior nodes only
+	// dirty marks nodes whose path was modified since the last commit;
+	// Commit's serializer descends exactly the dirty subtrees and
+	// clears the flags.
+	dirty bool
 }
 
 func newNode(interior bool) *node {
@@ -26,6 +30,10 @@ func newNode(interior bool) *node {
 type tree struct {
 	root   *node
 	levels int // 1 = root is a leaf
+	// topDiv is treeFanout^(levels-1): the divisor that extracts the
+	// root-level slot from a block index, so path walks need no
+	// per-call slot-path allocation.
+	topDiv int64
 }
 
 // levelsFor returns how many radix levels are needed for maxBlocks
@@ -42,72 +50,50 @@ func levelsFor(maxBlocks int64) int {
 
 func newTree(maxBlocks int64) *tree {
 	levels := levelsFor(maxBlocks)
-	return &tree{root: newNode(levels > 1), levels: levels}
-}
-
-// slotPath returns the child index at each level for block idx, from
-// the root down.
-func (t *tree) slotPath(idx int64) []int {
-	path := make([]int, t.levels)
-	for level := t.levels - 1; level >= 0; level-- {
-		path[level] = int(idx % treeFanout)
-		idx /= treeFanout
+	topDiv := int64(1)
+	for i := 0; i < levels-1; i++ {
+		topDiv *= treeFanout
 	}
-	return path
+	return &tree{root: newNode(levels > 1), levels: levels, topDiv: topDiv}
 }
 
 // lookup returns the data-block address for idx, or 0.
 func (t *tree) lookup(idx int64) int64 {
 	n := t.root
-	path := t.slotPath(idx)
+	div := t.topDiv
 	for level := 0; level < t.levels-1; level++ {
-		n = n.kids[path[level]]
+		n = n.kids[int((idx/div)%treeFanout)]
 		if n == nil {
 			return 0
 		}
+		div /= treeFanout
 	}
-	return n.children[path[t.levels-1]]
+	return n.children[int((idx/div)%treeFanout)]
 }
 
-// set installs addr for idx and returns the previous address (0 if
-// none). Interior nodes are created as needed; the dirtied path is
-// the caller's responsibility to rewrite during commit.
+// set installs addr for idx, marking the touched path dirty for the
+// next commit's COW rewrite, and returns the previous address (0 if
+// none). Interior nodes are created as needed.
 func (t *tree) set(idx int64, addr int64) (old int64) {
 	n := t.root
-	path := t.slotPath(idx)
+	div := t.topDiv
 	for level := 0; level < t.levels-1; level++ {
-		next := n.kids[path[level]]
+		n.dirty = true
+		slot := int((idx / div) % treeFanout)
+		next := n.kids[slot]
 		if next == nil {
 			next = newNode(level < t.levels-2)
-			n.kids[path[level]] = next
-			n.children[path[level]] = 0 // not yet on disk
+			n.kids[slot] = next
+			n.children[slot] = 0 // not yet on disk
 		}
 		n = next
+		div /= treeFanout
 	}
-	slot := path[t.levels-1]
+	n.dirty = true
+	slot := int((idx / div) % treeFanout)
 	old = n.children[slot]
 	n.children[slot] = addr
 	return old
-}
-
-// pathNodes returns the nodes along idx's path, root first. Nodes are
-// created if missing (matching set's behavior).
-func (t *tree) pathNodes(idx int64) []*node {
-	nodes := make([]*node, 0, t.levels)
-	n := t.root
-	nodes = append(nodes, n)
-	path := t.slotPath(idx)
-	for level := 0; level < t.levels-1; level++ {
-		next := n.kids[path[level]]
-		if next == nil {
-			next = newNode(level < t.levels-2)
-			n.kids[path[level]] = next
-			n.children[path[level]] = 0
-		}
-		n = next
-		nodes = append(nodes, n)
-	}
-	return nodes
 }
 
 // forEach visits every (blockIdx, addr) pair in the tree in index

@@ -1,0 +1,141 @@
+// Package pool provides sync.Pool-backed object pools for the persist
+// hot path: fixed-size page buffers and generic scratch slices.
+//
+// Both pools hand out and take back pointer-shaped handles, never raw
+// slice headers, so a steady-state Get/Put cycle performs no interface
+// boxing and therefore no heap allocation. Counters track every
+// Get/Put/miss, giving tests a leak-check hook: after a balanced
+// workload InUse must return to its pre-workload value.
+//
+// Releasing is always optional for correctness — an unreleased buffer
+// is simply collected by the GC — but a *double* release corrupts the
+// pool (two owners of one buffer), so ownership-transferring APIs in
+// the layers above nil out their references when they hand a buffer
+// on.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of a pool's traffic.
+type Stats struct {
+	// Gets counts buffers handed out; Puts counts buffers returned.
+	Gets, Puts int64
+	// Misses counts Gets that had to allocate because the pool was
+	// empty (cold start, or the GC flushed the sync.Pool).
+	Misses int64
+}
+
+// InUse is the number of buffers currently held by callers.
+func (s Stats) InUse() int64 { return s.Gets - s.Puts }
+
+type counters struct {
+	gets, puts, misses atomic.Int64
+}
+
+func (c *counters) stats() Stats {
+	return Stats{Gets: c.gets.Load(), Puts: c.puts.Load(), Misses: c.misses.Load()}
+}
+
+// Page is a pooled fixed-size buffer. Callers use Data and return the
+// handle with Release; the handle must not be used after Release.
+type Page struct {
+	Data  []byte
+	owner *PagePool
+}
+
+// Release returns the page to its pool. Safe on a nil handle.
+func (pg *Page) Release() {
+	if pg == nil || pg.owner == nil {
+		return
+	}
+	pg.owner.put(pg)
+}
+
+// PagePool is a sync.Pool of fixed-size page buffers.
+type PagePool struct {
+	size int
+	p    sync.Pool
+	c    counters
+}
+
+// NewPagePool returns a pool of size-byte pages.
+func NewPagePool(size int) *PagePool {
+	pp := &PagePool{size: size}
+	pp.p.New = func() any {
+		pp.c.misses.Add(1)
+		return &Page{Data: make([]byte, size), owner: pp}
+	}
+	return pp
+}
+
+// Get returns a page of the pool's size. Contents are undefined — the
+// caller overwrites them.
+func (pp *PagePool) Get() *Page {
+	pp.c.gets.Add(1)
+	return pp.p.Get().(*Page)
+}
+
+func (pp *PagePool) put(pg *Page) {
+	pp.c.puts.Add(1)
+	pp.p.Put(pg)
+}
+
+// Size returns the page size in bytes.
+func (pp *PagePool) Size() int { return pp.size }
+
+// Stats snapshots the pool counters.
+func (pp *PagePool) Stats() Stats { return pp.c.stats() }
+
+// SlicePool recycles []T scratch buffers (length 0, capacity
+// preserved). Internally slices travel inside pooled *item wrappers:
+// a full wrapper carries a slice, an empty one waits to carry the
+// next Put, so neither direction boxes a slice header.
+type SlicePool[T any] struct {
+	full  sync.Pool // *item[T] with s != nil
+	empty sync.Pool // *item[T] with s == nil
+	c     counters
+}
+
+type item[T any] struct{ s []T }
+
+// NewSlicePool returns an empty slice pool.
+func NewSlicePool[T any]() *SlicePool[T] { return &SlicePool[T]{} }
+
+// Get returns a zero-length slice, freshly allocated with capHint
+// capacity when the pool is empty.
+func (p *SlicePool[T]) Get(capHint int) []T {
+	p.c.gets.Add(1)
+	if it, _ := p.full.Get().(*item[T]); it != nil {
+		s := it.s
+		it.s = nil
+		p.empty.Put(it)
+		return s
+	}
+	p.c.misses.Add(1)
+	if capHint < 1 {
+		capHint = 1
+	}
+	return make([]T, 0, capHint)
+}
+
+// Put recycles s. Elements are zeroed first so the backing array does
+// not retain references. Zero-capacity slices are dropped.
+func (p *SlicePool[T]) Put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	p.c.puts.Add(1)
+	clear(s[:cap(s)])
+	it, _ := p.empty.Get().(*item[T])
+	if it == nil {
+		it = &item[T]{}
+	}
+	it.s = s[:0]
+	p.full.Put(it)
+}
+
+// Stats snapshots the pool counters.
+func (p *SlicePool[T]) Stats() Stats { return p.c.stats() }

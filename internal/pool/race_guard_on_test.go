@@ -1,0 +1,7 @@
+//go:build race
+
+package pool
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_guard_off_test.go.
+const raceEnabled = true

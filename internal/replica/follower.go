@@ -64,8 +64,10 @@ type FollowerShardStats struct {
 	Gaps       int64
 	Stale      int64
 	Snapshots  int64
-	LastSeq    uint64
-	Era        uint64
+	// Batches counts coalesced delta runs applied as one uCheckpoint.
+	Batches int64
+	LastSeq uint64
+	Era     uint64
 }
 
 // Follower is the backup endpoint: it owns a full set of shard
@@ -106,6 +108,7 @@ type followerShard struct {
 	gaps       int64
 	stale      int64
 	snapshots  int64
+	batches    int64
 }
 
 // NewFollower opens a follower over sys. Pre-existing shard regions
@@ -198,6 +201,79 @@ func (f *Follower) Apply(at time.Duration, d *Delta) (time.Duration, ApplyStatus
 	return clk.Now(), ApplyStatus{Code: ApplyOK, LastSeq: fs.lastSeq}
 }
 
+// ApplyBatch applies a coalesced run of consecutive same-era deltas
+// from one link message as a single unit. The entire chain is
+// validated against the shard's position BEFORE any page is written;
+// then every member's pages land and ONE synchronous uCheckpoint
+// persists the run, so the follower's durable state still only ever
+// advances by whole deltas — just several at a time. An
+// already-applied prefix (retransmission after a lost ack) is skipped
+// idempotently; a malformed or out-of-position batch is reported as a
+// gap with the region untouched.
+func (f *Follower) ApplyBatch(at time.Duration, ds []*Delta) (time.Duration, ApplyStatus) {
+	if len(ds) == 0 {
+		return at, ApplyStatus{Code: ApplyGap}
+	}
+	if len(ds) == 1 {
+		return f.Apply(at, ds[0])
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Shard != ds[0].Shard || ds[i].Era != ds[0].Era || ds[i].Seq != ds[i-1].Seq+1 {
+			return at, ApplyStatus{Code: ApplyGap}
+		}
+	}
+	f.mu.Lock()
+	promoted := f.promoted
+	f.mu.Unlock()
+	if ds[0].Shard < 0 || ds[0].Shard >= len(f.shards) {
+		return at, ApplyStatus{Code: ApplyStale}
+	}
+	fs := f.shards[ds[0].Shard]
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	clk := fs.ctx.Clock()
+	clk.AdvanceTo(at)
+	switch {
+	case promoted || ds[0].Era < fs.era:
+		fs.stale++
+		return clk.Now(), ApplyStatus{Code: ApplyStale, LastSeq: fs.lastSeq}
+	case ds[0].Era > fs.era:
+		if !(fs.lastSeq == 0 && ds[0].Seq == 1) {
+			fs.gaps++
+			return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
+		}
+		fs.era = ds[0].Era
+	}
+	skip := 0
+	for skip < len(ds) && ds[skip].Seq <= fs.lastSeq {
+		skip++
+	}
+	if skip == len(ds) {
+		fs.duplicates += int64(skip)
+		return clk.Now(), ApplyStatus{Code: ApplyDuplicate, LastSeq: fs.lastSeq}
+	}
+	if ds[skip].Seq != fs.lastSeq+1 {
+		fs.gaps++
+		return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
+	}
+	for _, d := range ds[skip:] {
+		for _, pg := range d.Pages {
+			fs.ctx.WriteAt(fs.region, pg.Index*core.PageSize, pg.Data)
+		}
+	}
+	if _, err := fs.ctx.Persist(fs.region, core.MSSync); err != nil {
+		// The run did not become durable; report a gap so the shipper
+		// retries from our (unchanged) position.
+		fs.gaps++
+		return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
+	}
+	fs.duplicates += int64(skip)
+	fs.lastSeq = ds[len(ds)-1].Seq
+	fs.applied += int64(len(ds) - skip)
+	fs.batches++
+	return clk.Now(), ApplyStatus{Code: ApplyOK, LastSeq: fs.lastSeq}
+}
+
 // ApplySnapshot installs a full-region snapshot, replacing whatever
 // the follower shard held — the catch-up (and era-reconciliation)
 // path. The whole region is written and persisted as one synchronous
@@ -278,6 +354,7 @@ func (f *Follower) Stats() []FollowerShardStats {
 			Gaps:       fs.gaps,
 			Stale:      fs.stale,
 			Snapshots:  fs.snapshots,
+			Batches:    fs.batches,
 			LastSeq:    fs.lastSeq,
 			Era:        fs.era,
 		}

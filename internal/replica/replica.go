@@ -28,6 +28,7 @@ package replica
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"memsnap/internal/core"
 	"memsnap/internal/objstore"
@@ -60,6 +61,30 @@ type Delta struct {
 	Era   uint64
 	Epoch objstore.Epoch
 	Pages []core.CommittedPage
+
+	// refs counts the pipeline's holders of this delta (the retained
+	// replay window, a queued async job, a replay borrow); pooled marks
+	// Pages as owned capture-pool pages that return to the pool when
+	// the last holder releases. Deltas constructed outside the Shipper
+	// (tests, perfbench) never take a reference and are ordinary
+	// garbage-collected values.
+	refs   atomic.Int32
+	pooled bool
+}
+
+// retain adds one pipeline reference.
+func (d *Delta) retain() { d.refs.Add(1) }
+
+// release drops one pipeline reference; the last one returns pooled
+// pages to the capture pool.
+func (d *Delta) release() {
+	if d.refs.Add(-1) != 0 {
+		return
+	}
+	if d.pooled {
+		core.ReleasePages(d.Pages)
+		d.Pages = nil
+	}
 }
 
 // Wire sizes: a fixed per-message header, 8 bytes of page index plus

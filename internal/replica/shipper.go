@@ -38,6 +38,14 @@ type Config struct {
 	// MaxRetries bounds retransmissions per message before the
 	// follower is declared unreachable (default 8).
 	MaxRetries int
+	// MaxBatch bounds how many consecutive queued deltas an async
+	// sender coalesces into one link message (default 4; 1 disables
+	// batching). Only gap-free same-era runs coalesce, so the follower
+	// can validate and persist a batch as a single unit.
+	MaxBatch int
+	// MaxBatchBytes bounds a coalesced message's wire size
+	// (default 256 KiB).
+	MaxBatchBytes int
 }
 
 func (c *Config) fill() {
@@ -50,14 +58,22 @@ func (c *Config) fill() {
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 8
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 256 << 10
+	}
 }
 
 // ShardRepStats are one shard's replication pipeline counters.
 type ShardRepStats struct {
 	Shard int
-	// Shipped counts delta transmissions (retransmissions included);
-	// Acked counts deltas confirmed by the follower; Duplicates are
-	// acks for deltas the follower had already applied.
+	// Shipped counts link message transmissions (retransmissions
+	// included; a batched message carrying several deltas counts
+	// once); Acked counts deltas confirmed by the follower;
+	// Duplicates are acks for deltas the follower had already
+	// applied.
 	Shipped, Acked, Duplicates int64
 	// Retries, LostDeltas, LostAcks count the retransmission machinery.
 	Retries, LostDeltas, LostAcks int64
@@ -66,6 +82,9 @@ type ShardRepStats struct {
 	// counts messages abandoned after MaxRetries; Unsent counts
 	// deltas dropped because no follower was connected.
 	Gaps, Snapshots, Stale, Exhausted, Unsent int64
+	// Batches counts coalesced multi-delta transmissions acked as a
+	// unit; BatchedDeltas counts the deltas they carried.
+	Batches, BatchedDeltas int64
 	// LastAckedSeq is the highest sequence number the follower acked.
 	LastAckedSeq uint64
 	// AckLatency summarizes per-delta latency from local durability
@@ -85,9 +104,11 @@ type shipShard struct {
 	// backlog and horizon belong to the shard's single sender (the
 	// async goroutine, or the worker in sync mode): jobs deferred
 	// while a snapshot was in flight, and the virtual time the sender
-	// is busy until.
+	// is busy until. batch is the sender's coalescing scratch.
 	backlog []shipJob
 	horizon time.Duration
+	batch   []shipJob
+	deltas  []*Delta
 
 	mu       sync.Mutex
 	retained []*Delta
@@ -96,19 +117,28 @@ type shipShard struct {
 }
 
 // retain appends d to the replay history, keeping the last window
-// deltas.
+// deltas; the history holds one reference per retained delta.
 func (ss *shipShard) retain(d *Delta, window int) {
+	d.retain()
+	var evicted *Delta
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	ss.retained = append(ss.retained, d)
 	if len(ss.retained) > window {
-		ss.retained = ss.retained[len(ss.retained)-window:]
+		evicted = ss.retained[0]
+		copy(ss.retained, ss.retained[1:])
+		ss.retained[len(ss.retained)-1] = nil
+		ss.retained = ss.retained[:len(ss.retained)-1]
+	}
+	ss.mu.Unlock()
+	if evicted != nil {
+		evicted.release()
 	}
 }
 
 // retainedRange returns the retained deltas covering [from, to], or
 // ok=false when the history has a hole in that range (snapshot
-// catch-up required). An empty range is trivially covered.
+// catch-up required). An empty range is trivially covered. Returned
+// deltas carry a reference each; the caller releases them.
 func (ss *shipShard) retainedRange(from, to uint64) ([]*Delta, bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
@@ -127,7 +157,15 @@ func (ss *shipShard) retainedRange(from, to uint64) ([]*Delta, bool) {
 		out = append(out, d)
 		want = d.Seq + 1
 	}
-	return out, want == to+1
+	if want != to+1 {
+		return nil, false
+	}
+	// Take the borrows under ss.mu: the window cannot evict (and thus
+	// release) any of these concurrently while we hold the lock.
+	for _, d := range out {
+		d.retain()
+	}
+	return out, true
 }
 
 // Shipper is the primary-side replication pipeline: it implements
@@ -204,7 +242,7 @@ func (s *Shipper) follower() *Follower {
 // ShipCommit implements shard.Replicator.
 func (s *Shipper) ShipCommit(shardID int, at time.Duration, c shard.Commit, snap func() shard.Snapshot) (time.Duration, error) {
 	ss := s.shards[shardID]
-	d := &Delta{Shard: shardID, Seq: c.Seq, Era: c.Era, Epoch: c.Epoch, Pages: c.Pages}
+	d := &Delta{Shard: shardID, Seq: c.Seq, Era: c.Era, Epoch: c.Epoch, Pages: c.Pages, pooled: c.Owned}
 	ss.retain(d, s.cfg.Window)
 	if s.cfg.Mode == Sync {
 		sendAt := maxd(at, ss.horizon)
@@ -214,11 +252,13 @@ func (s *Shipper) ShipCommit(shardID int, at time.Duration, c shard.Commit, snap
 		}
 		return ackAt, err
 	}
+	d.retain() // the queued job's reference
 	s.jobs.Add(1)
 	select {
 	case ss.queue <- shipJob{at: at, d: d}:
 	case <-s.stop:
 		s.jobs.Done()
+		d.release()
 		ss.mu.Lock()
 		ss.st.Unsent++
 		ss.mu.Unlock()
@@ -228,30 +268,31 @@ func (s *Shipper) ShipCommit(shardID int, at time.Duration, c shard.Commit, snap
 
 // run is a shard's async sender loop: backlog first (jobs deferred
 // behind a snapshot transfer), then the queue, then a final drain
-// after stop.
+// after stop. Each fetched job seeds a coalescing pass over whatever
+// else is already waiting.
 func (s *Shipper) run(ss *shipShard) {
 	defer s.wg.Done()
 	for {
 		if len(ss.backlog) > 0 {
 			var j shipJob
 			j, ss.backlog = ss.backlog[0], ss.backlog[1:]
-			s.process(ss, j)
+			s.processBatch(ss, s.collectBatch(ss, j))
 			continue
 		}
 		select {
 		case j := <-ss.queue:
-			s.process(ss, j)
+			s.processBatch(ss, s.collectBatch(ss, j))
 		case <-s.stop:
 			for {
 				if len(ss.backlog) > 0 {
 					var j shipJob
 					j, ss.backlog = ss.backlog[0], ss.backlog[1:]
-					s.process(ss, j)
+					s.processBatch(ss, s.collectBatch(ss, j))
 					continue
 				}
 				select {
 				case j := <-ss.queue:
-					s.process(ss, j)
+					s.processBatch(ss, s.collectBatch(ss, j))
 				default:
 					return
 				}
@@ -260,13 +301,144 @@ func (s *Shipper) run(ss *shipShard) {
 	}
 }
 
-func (s *Shipper) process(ss *shipShard, j shipJob) {
-	defer s.jobs.Done()
-	sendAt := maxd(j.at, ss.horizon)
-	ackAt, _ := s.deliver(ss, sendAt, j.d, nil, true)
+// collectBatch greedily coalesces jobs already waiting behind first —
+// backlog, then queue — into one run, bounded by MaxBatch and
+// MaxBatchBytes. Only a gap-free run of consecutive sequence numbers
+// from one era coalesces: that is the unit the follower can validate
+// and persist as a whole. The first non-coalescible job goes back to
+// the front of the backlog for the next pass.
+func (s *Shipper) collectBatch(ss *shipShard, first shipJob) []shipJob {
+	batch := append(ss.batch[:0], first)
+	size := first.d.WireSize()
+	for len(batch) < s.cfg.MaxBatch {
+		var j shipJob
+		if len(ss.backlog) > 0 {
+			j, ss.backlog = ss.backlog[0], ss.backlog[1:]
+		} else {
+			select {
+			case j = <-ss.queue:
+			default:
+				ss.batch = batch
+				return batch
+			}
+		}
+		prev := batch[len(batch)-1].d
+		if j.d.Era != prev.Era || j.d.Seq != prev.Seq+1 || size+j.d.WireSize() > s.cfg.MaxBatchBytes {
+			ss.backlog = append(ss.backlog, shipJob{})
+			copy(ss.backlog[1:], ss.backlog)
+			ss.backlog[0] = j
+			ss.batch = batch
+			return batch
+		}
+		batch = append(batch, j)
+		size += j.d.WireSize()
+	}
+	ss.batch = batch
+	return batch
+}
+
+// processBatch delivers one coalesced run (possibly of length one) and
+// settles its jobs' references. The send cannot precede the newest
+// member's local durability time.
+func (s *Shipper) processBatch(ss *shipShard, batch []shipJob) {
+	sendAt := maxd(batch[len(batch)-1].at, ss.horizon)
+	var ackAt time.Duration
+	if len(batch) == 1 {
+		ackAt, _ = s.deliver(ss, sendAt, batch[0].d, nil, true)
+	} else {
+		ackAt = s.deliverBatch(ss, sendAt, batch)
+	}
 	if ackAt > ss.horizon {
 		ss.horizon = ackAt
 	}
+	for i := range batch {
+		batch[i].d.release()
+		batch[i].d = nil
+		s.jobs.Done()
+	}
+}
+
+// deliverBatch transmits a consecutive delta run as one link message
+// that the follower applies — and persists — as a unit. Any outcome
+// other than a clean ack (or whole-batch duplicate) falls back to the
+// per-delta deliver path, which owns retries and catch-up.
+func (s *Shipper) deliverBatch(ss *shipShard, at time.Duration, batch []shipJob) time.Duration {
+	fol := s.follower()
+	if fol == nil {
+		ss.mu.Lock()
+		ss.st.Unsent += int64(len(batch))
+		ss.mu.Unlock()
+		return at
+	}
+	deltas := ss.deltas[:0]
+	size := 0
+	for i := range batch {
+		deltas = append(deltas, batch[i].d)
+		size += batch[i].d.WireSize()
+	}
+	ss.deltas = deltas
+	sendAt := at
+	last := at
+	for try := 0; try <= s.cfg.MaxRetries; try++ {
+		ss.mu.Lock()
+		ss.st.Shipped++
+		if try > 0 {
+			ss.st.Retries++
+		}
+		ss.mu.Unlock()
+		arrive, ok := s.link.Deliver(sendAt, size)
+		last = arrive
+		if !ok {
+			ss.mu.Lock()
+			ss.st.LostDeltas++
+			ss.mu.Unlock()
+			sendAt = arrive + s.cfg.RetryTimeout
+			continue
+		}
+		ackReady, status := fol.ApplyBatch(arrive, deltas)
+		ackAt, ok := s.link.Deliver(ackReady, ackWireBytes)
+		last = ackAt
+		if !ok {
+			ss.mu.Lock()
+			ss.st.LostAcks++
+			ss.mu.Unlock()
+			sendAt = ackAt + s.cfg.RetryTimeout
+			continue
+		}
+		switch status.Code {
+		case ApplyOK, ApplyDuplicate:
+			ss.mu.Lock()
+			ss.st.Acked += int64(len(deltas))
+			if status.Code == ApplyDuplicate {
+				ss.st.Duplicates += int64(len(deltas))
+			}
+			if status.LastSeq > ss.st.LastAckedSeq {
+				ss.st.LastAckedSeq = status.LastSeq
+			}
+			ss.st.Batches++
+			ss.st.BatchedDeltas += int64(len(deltas))
+			ss.mu.Unlock()
+			ss.ackLat.Record(ackAt - at)
+			return ackAt
+		default:
+			// Stale, gap, partial duplicate: re-run the members through
+			// the per-delta state machine with its replay/snapshot
+			// catch-up. Stale surfaces there as well.
+			t := ackAt
+			for _, d := range deltas {
+				t2, err := s.deliver(ss, t, d, nil, true)
+				t = t2
+				if err != nil {
+					break
+				}
+			}
+			return t
+		}
+	}
+	ss.mu.Lock()
+	ss.st.Exhausted++
+	ss.mu.Unlock()
+	return last
 }
 
 // deliver runs the send/ack state machine for one delta: transmit,
@@ -354,12 +526,14 @@ func (s *Shipper) catchUp(ss *shipShard, at time.Duration, folLast uint64, d *De
 		t := at
 		good := true
 		for _, rd := range replay {
-			var err error
-			if t, err = s.deliver(ss, t, rd, nil, false); err != nil {
-				good = false
-				at = t
-				break
+			if good {
+				var err error
+				if t, err = s.deliver(ss, t, rd, nil, false); err != nil {
+					good = false
+					at = t
+				}
 			}
+			rd.release()
 		}
 		if good {
 			return t, nil
@@ -488,10 +662,12 @@ func (s *Shipper) Reconcile(at time.Duration) error {
 				t := at
 				good := true
 				for _, rd := range replay {
-					if t, err = s.deliver(ss, t, rd, nil, false); err != nil {
-						good = false
-						break
+					if good {
+						if t, err = s.deliver(ss, t, rd, nil, false); err != nil {
+							good = false
+						}
 					}
+					rd.release()
 				}
 				if good {
 					continue
@@ -540,5 +716,16 @@ func (s *Shipper) Close() error {
 	s.jobs.Wait()
 	close(s.stop)
 	s.wg.Wait()
+	// Drop the replay windows: the last references to fully shipped
+	// deltas, returning their captured pages to the pool.
+	for _, ss := range s.shards {
+		ss.mu.Lock()
+		retained := ss.retained
+		ss.retained = nil
+		ss.mu.Unlock()
+		for _, d := range retained {
+			d.release()
+		}
+	}
 	return nil
 }

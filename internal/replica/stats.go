@@ -53,6 +53,10 @@ func (s *Shipper) FormatPrometheus(w io.Writer) error {
 			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Exhausted) }},
 		{"memsnap_replica_unsent_total", "Deltas dropped with no follower connected.", "counter",
 			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Unsent) }},
+		{"memsnap_replica_batches_total", "Coalesced multi-delta transmissions acked as a unit.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Batches) }},
+		{"memsnap_replica_batched_deltas_total", "Deltas carried inside coalesced transmissions.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.BatchedDeltas) }},
 		{"memsnap_replica_last_acked_seq", "Highest sequence number the follower acked.", "gauge",
 			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.LastAckedSeq) }},
 		{"memsnap_replica_ack_latency_seconds_mean", "Mean durability-to-follower-ack latency (virtual seconds).", "gauge",
@@ -93,6 +97,8 @@ func (f *Follower) FormatPrometheus(w io.Writer) error {
 			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Stale) }},
 		{"memsnap_follower_snapshots_total", "Full-region snapshots installed.", "counter",
 			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Snapshots) }},
+		{"memsnap_follower_batches_total", "Coalesced delta runs applied as one uCheckpoint.", "counter",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Batches) }},
 		{"memsnap_follower_last_seq", "Last fully applied sequence number.", "gauge",
 			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.LastSeq) }},
 		{"memsnap_follower_era", "Replication era the shard follows.", "gauge",

@@ -55,6 +55,12 @@ func FormatPrometheus(w io.Writer, stats []ShardStats) error {
 			func(st *ShardStats) string { return promSeconds(st.CommitLatency.P99) }},
 		{"memsnap_shard_elapsed_seconds", "Worker virtual time since the service opened.", "gauge",
 			func(st *ShardStats) string { return promSeconds(st.Elapsed) }},
+		{"memsnap_shard_persist_reset_seconds_total", "Cumulative Persist time spent resetting write tracking (virtual seconds).", "counter",
+			func(st *ShardStats) string { return promSeconds(st.PersistStages.ResetTracking) }},
+		{"memsnap_shard_persist_initiate_seconds_total", "Cumulative Persist time spent initiating uCheckpoint IO (virtual seconds).", "counter",
+			func(st *ShardStats) string { return promSeconds(st.PersistStages.InitiateWrites) }},
+		{"memsnap_shard_persist_waitio_seconds_total", "Cumulative Persist time spent waiting for durability (virtual seconds).", "counter",
+			func(st *ShardStats) string { return promSeconds(st.PersistStages.WaitIO) }},
 	}
 	for _, m := range metrics {
 		if err := promHeader(w, m.name, m.help, m.typ); err != nil {

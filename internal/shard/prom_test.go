@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"memsnap/internal/core"
 	"memsnap/internal/sim"
 )
 
@@ -30,6 +31,11 @@ func TestFormatPrometheusGolden(t *testing.T) {
 			},
 			QueueHighWater: 5, Rejected: 1,
 			Elapsed: 10 * time.Millisecond,
+			PersistStages: core.PersistStageTotals{
+				ResetTracking:  250 * time.Microsecond,
+				InitiateWrites: 750 * time.Microsecond,
+				WaitIO:         4 * time.Millisecond,
+			},
 		},
 		{
 			Shard: 1, Ops: 7, Reads: 7,
@@ -89,7 +95,7 @@ func TestServiceFormatPrometheus(t *testing.T) {
 		}
 		series++
 	}
-	const metrics = 10
+	const metrics = 13
 	if want := metrics * 2; series != want {
 		t.Errorf("got %d series lines, want %d (%d metrics x 2 shards)", series, want, metrics)
 	}

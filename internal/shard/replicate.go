@@ -19,6 +19,11 @@ type Commit struct {
 	Era   uint64
 	Epoch objstore.Epoch
 	Pages []core.CommittedPage
+	// Owned marks Pages as capture-pool pages whose ownership passes
+	// to the Replicator, which must release them (core.ReleasePages)
+	// once the commit is fully shipped. Commits built from plain
+	// slices leave it unset.
+	Owned bool
 }
 
 // Snapshot is a full copy of one shard region at a replication

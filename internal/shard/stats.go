@@ -3,6 +3,7 @@ package shard
 import (
 	"time"
 
+	"memsnap/internal/core"
 	"memsnap/internal/sim"
 )
 
@@ -31,6 +32,10 @@ type ShardStats struct {
 	Elapsed           time.Duration
 	LastCommitSubmit  time.Duration
 	LastCommitDurable time.Duration
+	// PersistStages breaks the worker's cumulative Persist time into
+	// the pipeline's stages (reset write tracking, initiate IO, wait
+	// for durability), as of the last group commit.
+	PersistStages core.PersistStageTotals
 }
 
 // Stats snapshots every shard's statistics. Safe to call while the
@@ -49,6 +54,7 @@ func (s *Service) Stats() []ShardStats {
 			LastCommitSubmit:  sh.lastSubmit,
 			LastCommitDurable: sh.lastDur,
 			Elapsed:           sh.ctx.Clock().Now() - sh.startedAt,
+			PersistStages:     sh.stages,
 		}
 		if sh.commits > 0 {
 			st.BatchOccupancy = float64(sh.batchOps) / float64(sh.commits)
@@ -85,6 +91,9 @@ func (s *Service) TotalStats() ShardStats {
 		if sh.lastDur > total.LastCommitDurable {
 			total.LastCommitDurable = sh.lastDur
 		}
+		total.PersistStages.ResetTracking += sh.stages.ResetTracking
+		total.PersistStages.InitiateWrites += sh.stages.InitiateWrites
+		total.PersistStages.WaitIO += sh.stages.WaitIO
 		sh.statsMu.Unlock()
 		if hw := int(sh.queueHW.Load()); hw > total.QueueHighWater {
 			total.QueueHighWater = hw

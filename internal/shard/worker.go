@@ -34,8 +34,12 @@ type shard struct {
 	lastDur    time.Duration
 	commitLat  *sim.LatencyRecorder
 	startedAt  time.Duration
-	rejected   atomic.Int64
-	queueHW    atomic.Int64
+	// stages mirrors the worker context's cumulative persist-stage
+	// breakdown under statsMu (the context field itself is
+	// worker-confined).
+	stages   core.PersistStageTotals
+	rejected atomic.Int64
+	queueHW  atomic.Int64
 }
 
 func newLatency() *sim.LatencyRecorder { return sim.NewLatencyRecorder() }
@@ -180,19 +184,28 @@ func (sh *shard) apply(batch []*request) *pendingBatch {
 	sh.commits++
 	sh.batchOps += writeOps
 	sh.lastSubmit = submitAt
+	sh.stages = sh.ctx.StageTotals
 	sh.statsMu.Unlock()
 
 	// With a Replicator attached the Persist above captured the
 	// uCheckpoint's dirty pages; stamp them with the replication
-	// position the manifest page already carries.
+	// position the manifest page already carries. The pages move into
+	// a per-commit pooled slice (this batch stays pending while the
+	// next one applies, so the worker cannot reuse one buffer), and
+	// ownership passes to the Replicator via Owned.
 	var commit *Commit
 	if sh.svc.cfg.Replicator != nil {
-		c := Commit{Seq: sh.tab.man.commits, Era: sh.tab.man.era, Epoch: epoch}
-		for _, cc := range sh.ctx.TakeCaptured() {
-			c.Pages = append(c.Pages, cc.Pages...)
+		caps := sh.ctx.TakeCaptured()
+		n := 0
+		for i := range caps {
+			n += len(caps[i].Pages)
 		}
-		if len(c.Pages) > 0 {
-			commit = &c
+		if n > 0 {
+			pages := core.GetCommittedPages(n)
+			for i := range caps {
+				pages = caps[i].MovePages(pages)
+			}
+			commit = &Commit{Seq: sh.tab.man.commits, Era: sh.tab.man.era, Epoch: epoch, Pages: pages, Owned: true}
 		}
 	}
 	return &pendingBatch{epoch: epoch, writes: writes, start: start, commit: commit}
@@ -290,6 +303,7 @@ func (sh *shard) retire(b *pendingBatch) {
 	sh.statsMu.Lock()
 	sh.lastDur = durable
 	sh.commitLat.Record(now - b.start)
+	sh.stages = sh.ctx.StageTotals
 	sh.statsMu.Unlock()
 	for _, r := range b.writes {
 		r.ack.Epoch = b.epoch

@@ -98,7 +98,7 @@ func (t *TLB) InvalidatePage(vpn uint64) {
 func (t *TLB) InvalidateAll() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.entries = make(map[uint64]Entry, t.capacity)
+	clear(t.entries)
 	t.fifo = t.fifo[:0]
 }
 

@@ -51,8 +51,14 @@ func resetOtherMappings(clk *sim.Clock, as *AddressSpace, pg *mem.Page, costs *s
 // records taken from a thread's trace buffer. Returns the VPNs reset
 // (for the TLB invalidation that must follow).
 func (as *AddressSpace) ResetProtectionsTrace(clk *sim.Clock, records []DirtyRecord) []uint64 {
+	return as.ResetProtectionsTraceInto(clk, records, nil)
+}
+
+// ResetProtectionsTraceInto is ResetProtectionsTrace appending the
+// reset VPNs into a caller-owned buffer, so the persist hot path can
+// reuse one across calls.
+func (as *AddressSpace) ResetProtectionsTraceInto(clk *sim.Clock, records []DirtyRecord, vpns []uint64) []uint64 {
 	as.mu.Lock()
-	vpns := make([]uint64, 0, len(records))
 	for _, rec := range records {
 		if clk != nil {
 			clk.Advance(as.costs.PTEWrite)
@@ -124,15 +130,27 @@ func (as *AddressSpace) ResetProtectionsScan(clk *sim.Clock, m *Mapping) []uint6
 // take the COW path. The returned release function clears the flags;
 // call it when the IO completes.
 func (as *AddressSpace) MarkCheckpointInProgress(records []DirtyRecord) (release func()) {
-	pages := make([]*mem.Page, 0, len(records))
+	pages := as.MarkCheckpointPages(records, nil)
+	return func() { ClearCheckpointPages(pages) }
+}
+
+// MarkCheckpointPages is the allocation-free form of
+// MarkCheckpointInProgress: it sets the in-progress flag on every
+// record's page and appends the pages to buf. The caller releases the
+// flags with ClearCheckpointPages when the IO completes.
+func (as *AddressSpace) MarkCheckpointPages(records []DirtyRecord, buf []*mem.Page) []*mem.Page {
 	for _, rec := range records {
 		rec.Page.SetFlag(mem.FlagCheckpointInProgress)
-		pages = append(pages, rec.Page)
+		buf = append(buf, rec.Page)
 	}
-	return func() {
-		for _, pg := range pages {
-			pg.ClearFlag(mem.FlagCheckpointInProgress)
-		}
+	return buf
+}
+
+// ClearCheckpointPages clears the in-progress flag set by
+// MarkCheckpointPages.
+func ClearCheckpointPages(pages []*mem.Page) {
+	for _, pg := range pages {
+		pg.ClearFlag(mem.FlagCheckpointInProgress)
 	}
 }
 
@@ -141,9 +159,14 @@ func (as *AddressSpace) MarkCheckpointInProgress(records []DirtyRecord) (release
 // because any concurrent writer duplicates the frame (unified COW)
 // rather than mutating it.
 func (as *AddressSpace) SnapshotPages(records []DirtyRecord) [][]byte {
+	return as.SnapshotPagesInto(records, nil)
+}
+
+// SnapshotPagesInto is SnapshotPages appending into a caller-owned
+// buffer.
+func (as *AddressSpace) SnapshotPagesInto(records []DirtyRecord, snapshots [][]byte) [][]byte {
 	as.mu.Lock()
 	defer as.mu.Unlock()
-	snapshots := make([][]byte, 0, len(records))
 	for _, rec := range records {
 		snapshots = append(snapshots, as.phys.Data(rec.Page.Frame()))
 	}

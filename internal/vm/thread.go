@@ -240,19 +240,41 @@ func (t *Thread) DirtyLen() int {
 // to the given mapping (nil means all mappings). Called under the
 // persist path with the address-space lock NOT held.
 func (t *Thread) TakeDirty(m *Mapping) []DirtyRecord {
-	t.as.mu.Lock()
-	defer t.as.mu.Unlock()
-	return t.takeDirtyLocked(m)
+	return t.TakeDirtyInto(m, nil)
 }
 
-func (t *Thread) takeDirtyLocked(m *Mapping) []DirtyRecord {
+// TakeDirtyInto is TakeDirty appending into a caller-owned buffer, so
+// a persist loop can reuse one records slice across calls. The thread
+// keeps its own trace-buffer backing array (truncated, tracking map
+// cleared in place), making the steady-state handoff allocation-free.
+func (t *Thread) TakeDirtyInto(m *Mapping, out []DirtyRecord) []DirtyRecord {
+	t.as.mu.Lock()
+	defer t.as.mu.Unlock()
+	return t.takeDirtyIntoLocked(m, out)
+}
+
+// TakeDirtyAllInto drains every thread's trace buffer (filtered to m;
+// nil means all mappings) into out under one address-space lock
+// acquisition — the MSGlobal gather without per-thread slice copies.
+func (as *AddressSpace) TakeDirtyAllInto(m *Mapping, out []DirtyRecord) []DirtyRecord {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for _, t := range as.threads {
+		out = t.takeDirtyIntoLocked(m, out)
+	}
+	return out
+}
+
+func (t *Thread) takeDirtyIntoLocked(m *Mapping, out []DirtyRecord) []DirtyRecord {
 	if m == nil {
-		out := t.dirty
-		t.dirty = nil
-		t.tracked = make(map[uint64]bool)
+		out = append(out, t.dirty...)
+		t.dirty = t.dirty[:0]
+		for k := range t.tracked {
+			delete(t.tracked, k)
+		}
 		return out
 	}
-	var out, kept []DirtyRecord
+	kept := t.dirty[:0]
 	for _, rec := range t.dirty {
 		if rec.Mapping == m {
 			out = append(out, rec)

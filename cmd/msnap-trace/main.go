@@ -1,0 +1,297 @@
+// Command msnap-trace runs a replicated shard workload with lifecycle
+// tracing enabled and exports the result as Chrome trace-event JSON
+// (loadable in Perfetto or chrome://tracing), optionally serving the
+// live observability endpoint.
+//
+// Usage:
+//
+//	msnap-trace [-shards N] [-clients C] [-ops K] [-seed S] [-out trace.json]
+//	msnap-trace -smoke [-listen 127.0.0.1:0]
+//	msnap-trace -serve [-listen 127.0.0.1:8091]
+//
+// The default mode runs the workload and writes the drained trace to
+// -out. -smoke additionally starts the TCP observability endpoint,
+// self-scrapes /metricz, /varz and /tracez over real loopback
+// connections, validates the JSON payloads, and writes the scraped
+// trace to -out — the CI smoke path. -serve runs the workload and then
+// keeps serving the endpoint until the process is killed.
+//
+// All timestamps in the exported trace are virtual time: the workload
+// is a simulation, and the trace shows its simulated concurrency, not
+// host scheduling.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+
+	"memsnap/internal/core"
+	"memsnap/internal/obs"
+	"memsnap/internal/replica"
+	"memsnap/internal/shard"
+	"memsnap/internal/sim"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	shards := flag.Int("shards", 4, "shard count (primary and follower)")
+	clients := flag.Int("clients", 4, "concurrent workload clients")
+	ops := flag.Int("ops", 200, "operations per client")
+	keys := flag.Int("keys", 512, "key-space size per tenant")
+	seed := flag.Uint64("seed", 1, "workload RNG seed")
+	ring := flag.Int("ring", 1<<16, "trace ring capacity in events")
+	out := flag.String("out", "trace.json", "trace output path (empty: skip the file)")
+	listen := flag.String("listen", "127.0.0.1:0", "observability endpoint address (-smoke/-serve)")
+	smoke := flag.Bool("smoke", false, "serve the endpoint, self-scrape and validate /metricz, /varz and /tracez, then exit")
+	serveMode := flag.Bool("serve", false, "keep serving the endpoint after the workload until killed")
+	flag.Parse()
+
+	rec := obs.NewRecorder(*ring)
+
+	// Primary and follower each get their own machine (their own disk
+	// array — the follower survives the primary's death).
+	sysOpts := core.Options{CPUs: *shards, DiskBytesEach: 512 << 20}
+	sysA, err := core.NewSystem(sysOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msnap-trace: primary system: %v\n", err)
+		return 1
+	}
+	sysB, err := core.NewSystem(sysOpts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msnap-trace: follower system: %v\n", err)
+		return 1
+	}
+
+	link := replica.NewLink(replica.LinkConfig{})
+	fol, err := replica.NewFollower(sysB, replica.FollowerConfig{Shards: *shards, Recorder: rec})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msnap-trace: follower: %v\n", err)
+		return 1
+	}
+	ship := replica.NewShipper(link, fol, *shards, replica.Config{Mode: replica.Async, Recorder: rec})
+	svc, err := shard.New(sysA, shard.Config{Shards: *shards, Replicator: ship, Recorder: rec})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msnap-trace: service: %v\n", err)
+		return 1
+	}
+	ship.Attach(svc)
+	defer svc.Close()
+	defer ship.Close()
+
+	runWorkload(svc, *clients, *ops, *keys, *seed)
+
+	total := svc.TotalStats()
+	fmt.Printf("workload done: %d ops, %d commits, %d trace events recorded (%d dropped)\n",
+		total.Ops, total.Commits, total.Obs.Recorded, total.Obs.Dropped)
+
+	// The boundary clock gives /varz a virtual "now": the furthest any
+	// worker has advanced.
+	bclk := sim.NewClock()
+	bclk.AdvanceTo(total.Elapsed)
+
+	src := obs.ServerSources{
+		Metrics: func(w io.Writer) error {
+			if err := svc.FormatPrometheus(w); err != nil {
+				return err
+			}
+			if err := ship.FormatPrometheus(w); err != nil {
+				return err
+			}
+			return fol.FormatPrometheus(w)
+		},
+		Vars: func() any {
+			return map[string]any{
+				"total":       svc.TotalStats(),
+				"shards":      svc.Stats(),
+				"replication": ship.Stats(),
+				"follower":    fol.Stats(),
+			}
+		},
+		Trace: rec.Drain,
+		Clock: bclk,
+	}
+
+	switch {
+	case *smoke:
+		return runSmoke(*listen, src, *out)
+	case *serveMode:
+		srv, err := obs.Serve(*listen, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-trace: serve: %v\n", err)
+			return 1
+		}
+		fmt.Printf("serving http://%s/{metricz,varz,tracez} (kill to stop)\n", srv.Addr())
+		select {}
+	default:
+		if *out == "" {
+			return 0
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-trace: %v\n", err)
+			return 1
+		}
+		if err := obs.WriteTrace(f, rec.Drain()); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "msnap-trace: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-trace: %v\n", err)
+			return 1
+		}
+		fmt.Printf("trace written to %s\n", *out)
+		return 0
+	}
+}
+
+// runWorkload drives clients concurrent goroutines of mixed
+// put/add/get traffic over a deterministic key walk.
+func runWorkload(svc *shard.Service, clients, ops, keys int, seed uint64) {
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := sim.NewRNG(seed + uint64(c)*0x9e3779b9)
+			tenant := fmt.Sprintf("t%d", c%3)
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("k%04d", (c*7919+i*613)%keys)
+				switch rng.Intn(4) {
+				case 0:
+					svc.Get(tenant, key)
+				case 1:
+					svc.Add(tenant, key, uint64(i%7+1))
+				default:
+					svc.Put(tenant, key, uint64(c)<<32|uint64(i))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// runSmoke starts the endpoint, scrapes all three paths over real TCP,
+// validates each payload, and writes the scraped trace to out.
+func runSmoke(listen string, src obs.ServerSources, out string) int {
+	srv, err := obs.Serve(listen, src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msnap-trace: serve: %v\n", err)
+		return 1
+	}
+	defer srv.Close()
+	fmt.Printf("smoke: endpoint on %s\n", srv.Addr())
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "msnap-trace: smoke: "+format+"\n", args...)
+		return 1
+	}
+
+	code, metrics, err := get(srv.Addr(), "/metricz")
+	if err != nil || code != 200 {
+		return fail("/metricz: code %d err %v", code, err)
+	}
+	for _, want := range []string{
+		"memsnap_shard_commit_latency_seconds_bucket",
+		"memsnap_shard_persist_latency_seconds_count",
+		"memsnap_obs_events_recorded_total",
+		"memsnap_replica_ack_latency_seconds_count",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			return fail("/metricz missing series %s", want)
+		}
+	}
+	fmt.Printf("smoke: /metricz ok (%d bytes)\n", len(metrics))
+
+	code, varz, err := get(srv.Addr(), "/varz")
+	if err != nil || code != 200 {
+		return fail("/varz: code %d err %v", code, err)
+	}
+	var vdoc struct {
+		VirtualSeconds float64        `json:"virtual_now_seconds"`
+		Vars           map[string]any `json:"vars"`
+	}
+	if err := json.Unmarshal(varz, &vdoc); err != nil {
+		return fail("/varz is not valid JSON: %v", err)
+	}
+	if vdoc.VirtualSeconds <= 0 || vdoc.Vars["total"] == nil {
+		return fail("/varz payload incomplete: now=%v keys=%d", vdoc.VirtualSeconds, len(vdoc.Vars))
+	}
+	fmt.Printf("smoke: /varz ok (virtual now %.6fs)\n", vdoc.VirtualSeconds)
+
+	code, trace, err := get(srv.Addr(), "/tracez")
+	if err != nil || code != 200 {
+		return fail("/tracez: code %d err %v", code, err)
+	}
+	var tdoc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &tdoc); err != nil {
+		return fail("/tracez is not valid JSON: %v", err)
+	}
+	if len(tdoc.TraceEvents) == 0 {
+		return fail("/tracez drained no events")
+	}
+	lanes := map[string]bool{}
+	for _, ev := range tdoc.TraceEvents {
+		if cat, ok := ev["cat"].(string); ok {
+			lanes[cat] = true
+		}
+	}
+	for _, want := range []string{"vm", "persist", "shard", "replica"} {
+		if !lanes[want] {
+			return fail("/tracez missing %q events (have %v)", want, lanes)
+		}
+	}
+	fmt.Printf("smoke: /tracez ok (%d events across %d categories)\n", len(tdoc.TraceEvents), len(lanes))
+
+	if out != "" {
+		if err := os.WriteFile(out, trace, 0o644); err != nil {
+			return fail("writing %s: %v", out, err)
+		}
+		fmt.Printf("smoke: trace written to %s\n", out)
+	}
+	return 0
+}
+
+// get performs one minimal HTTP GET over a fresh loopback connection.
+func get(addr, path string) (int, []byte, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.0\r\nHost: msnap\r\n\r\n", path); err != nil {
+		return 0, nil, err
+	}
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		return 0, nil, err
+	}
+	var proto string
+	var code int
+	if _, err := fmt.Sscanf(status, "%s %d", &proto, &code); err != nil {
+		return 0, nil, fmt.Errorf("bad status line %q", status)
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return 0, nil, err
+		}
+		if line == "\r\n" || line == "\n" {
+			break
+		}
+	}
+	body, err := io.ReadAll(br)
+	return code, body, err
+}

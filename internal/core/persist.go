@@ -6,6 +6,7 @@ import (
 
 	"memsnap/internal/mem"
 	"memsnap/internal/objstore"
+	"memsnap/internal/obs"
 	"memsnap/internal/pool"
 	"memsnap/internal/sim"
 	"memsnap/internal/vm"
@@ -52,6 +53,21 @@ type Context struct {
 	// caller-visible latency (sync: to durability; async: to return).
 	Persists       int64
 	PersistLatency *sim.LatencyRecorder
+
+	// rec, when non-nil, receives lifecycle spans for every Persist and
+	// Wait on this context (and fault instants from the vm thread),
+	// stamped on the recTrack lane. A nil recorder costs one branch.
+	rec      *obs.Recorder
+	recTrack int32
+}
+
+// SetRecorder attaches (or with nil detaches) an observability
+// recorder: Persist phase spans and the thread's fault instants are
+// recorded on the given trace lane in virtual time.
+func (ctx *Context) SetRecorder(r *obs.Recorder, track int32) {
+	ctx.rec = r
+	ctx.recTrack = track
+	ctx.th.SetRecorder(r, track)
 }
 
 type pendingCheckpoint struct {
@@ -279,6 +295,7 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 	ctx.vpns = vpns
 	proc.sys.tlbs.Invalidate(clk, vpns)
 	resetDur := clk.Now() - resetStart
+	ctx.rec.Span(obs.CatPersist, obs.NameResetTracking, ctx.recTrack, resetStart, resetDur, int64(len(records)))
 
 	// Phase 2 — initiate writes: snapshot page contents (aliases,
 	// protected by the unified COW) and build per-region block lists.
@@ -321,6 +338,7 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 		})
 	}
 	initDur := clk.Now() - initStart
+	ctx.rec.Span(obs.CatPersist, obs.NameInitiateWrites, ctx.recTrack, initStart, initDur, int64(len(records)))
 
 	// Phase 3 — commit each region's uCheckpoint. Different regions
 	// commit independently (per-object epochs). The in-progress flags
@@ -385,6 +403,7 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 		breakdown.Total = clk.Now() - start
 		ctx.LastBreakdown = breakdown
 		ctx.PersistLatency.Record(breakdown.Total)
+		ctx.rec.Span(obs.CatPersist, obs.NamePersist, ctx.recTrack, start, breakdown.Total, int64(len(records)))
 		return lastEpoch, nil
 	}
 
@@ -396,6 +415,8 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 	ctx.StageTotals.WaitIO += breakdown.WaitIO
 	ctx.LastBreakdown = breakdown
 	ctx.PersistLatency.Record(breakdown.Total)
+	ctx.rec.Span(obs.CatPersist, obs.NameWaitIO, ctx.recTrack, submitAt, breakdown.WaitIO, int64(len(records)))
+	ctx.rec.Span(obs.CatPersist, obs.NamePersist, ctx.recTrack, start, breakdown.Total, int64(len(records)))
 	ctx.sweepCompleted()
 	return lastEpoch, nil
 }
@@ -441,7 +462,11 @@ func (ctx *Context) Wait(r *Region, epoch objstore.Epoch) {
 		}
 	}
 	ctx.pending = kept
-	ctx.StageTotals.WaitIO += clk.Now() - waitStart
+	waited := clk.Now() - waitStart
+	ctx.StageTotals.WaitIO += waited
+	if waited > 0 {
+		ctx.rec.Span(obs.CatPersist, obs.NameWaitIO, ctx.recTrack, waitStart, waited, 0)
+	}
 }
 
 // OutstandingCheckpoints reports how many async uCheckpoints have not

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -12,11 +13,22 @@ import (
 // parameter (which this analyzer permits) or create its own, so
 // ownership transfer is visible at the spawn site instead of being an
 // accidental data race on virtual time.
+//
+// One use is exempt: a captured clock whose use is the receiver of an
+// immediate Now() or AdvanceTo() call. Those two methods are the
+// clock's documented atomic operations — the one cross-goroutine
+// access the ownership rule itself permits (an observability boundary
+// stamping virtual time, a client reading a worker's clock). Any other
+// captured use, including Advance, is still reported.
 var ClockCapture = &Analyzer{
 	Name: "clockcapture",
-	Doc:  "forbid *sim.Clock captured by go-statement closures; pass clocks as explicit goroutine parameters",
+	Doc:  "forbid *sim.Clock captured by go-statement closures; pass clocks as explicit goroutine parameters (atomic Now/AdvanceTo receivers exempt)",
 	Run:  runClockCapture,
 }
+
+// atomicClockMethods are the *sim.Clock methods documented as safe for
+// cross-goroutine use (implemented on the clock's atomic counter).
+var atomicClockMethods = map[string]bool{"Now": true, "AdvanceTo": true}
 
 func runClockCapture(pass *Pass) {
 	pkg := pass.Pkg
@@ -30,6 +42,28 @@ func runClockCapture(pass *Pass) {
 			if !ok {
 				return true
 			}
+			// Pre-scan for idents whose use is the receiver of an
+			// immediate atomic-method call: in `clk.Now()` or
+			// `s.src.Clock.AdvanceTo(t)` the terminal receiver ident is
+			// exempt below.
+			atomicRecv := map[token.Pos]bool{}
+			ast.Inspect(lit, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !atomicClockMethods[sel.Sel.Name] {
+					return true
+				}
+				switch recv := sel.X.(type) {
+				case *ast.Ident:
+					atomicRecv[recv.Pos()] = true
+				case *ast.SelectorExpr:
+					atomicRecv[recv.Sel.Pos()] = true
+				}
+				return true
+			})
 			// Only the literal's body can capture; arguments to the
 			// call are evaluated in the spawning goroutine's scope.
 			ast.Inspect(lit, func(n ast.Node) bool {
@@ -44,6 +78,11 @@ func runClockCapture(pass *Pass) {
 				// Declared inside the literal (parameter or local):
 				// explicit ownership transfer, allowed.
 				if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+					return true
+				}
+				// Receiver of an immediate atomic Now/AdvanceTo call:
+				// the documented cross-goroutine exception.
+				if atomicRecv[id.Pos()] {
 					return true
 				}
 				pass.Reportf(id.Pos(),

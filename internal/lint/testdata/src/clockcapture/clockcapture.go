@@ -52,6 +52,60 @@ func badNested() {
 	clk.Advance(1)
 }
 
+// Now and AdvanceTo are the clock's documented atomic cross-goroutine
+// operations (internal/sim/clock.go): a captured clock used only as
+// their receiver is allowed — the observability-boundary pattern.
+func okAtomicNow(t int64) {
+	clk := sim.NewClock()
+	done := make(chan struct{})
+	go func() {
+		_ = clk.Now()
+		clk.AdvanceTo(5)
+		close(done)
+	}()
+	<-done
+}
+
+// The exemption is per-use: the same captured clock calling a
+// non-atomic method is still reported, even with an atomic read as the
+// argument.
+func badMixed() {
+	clk := sim.NewClock()
+	done := make(chan struct{})
+	go func() {
+		clk.Advance(clk.Now()) // want `goroutine closure captures \*sim\.Clock "clk"`
+		close(done)
+	}()
+	<-done
+	clk.Advance(1)
+}
+
+// The exemption also covers clocks reached through struct fields —
+// the shape of a server closure stamping s.src.Clock.Now().
+type clockHolder struct {
+	Clock *sim.Clock
+}
+
+func okFieldNow(h clockHolder) {
+	done := make(chan struct{})
+	go func() {
+		_ = h.Clock.Now()
+		close(done)
+	}()
+	<-done
+}
+
+// A struct-field clock used non-atomically in a goroutine is still a
+// capture.
+func badFieldAdvance(h clockHolder) {
+	done := make(chan struct{})
+	go func() {
+		h.Clock.Advance(5) // want `goroutine closure captures \*sim\.Clock "Clock"`
+		close(done)
+	}()
+	<-done
+}
+
 // The escape hatch: suppressed twin of bad().
 func suppressed() {
 	clk := sim.NewClock()

@@ -1,0 +1,49 @@
+// Fixture for the walltime analyzer in observability-recorder shape:
+// event timestamps must come from a virtual sim.Clock, never the wall
+// clock, or drained traces stop being deterministic.
+package obsring
+
+import (
+	"time"
+
+	"memsnap/internal/sim"
+)
+
+// event is a miniature obs.Event: one ring slot with a virtual
+// timestamp.
+type event struct {
+	at  time.Duration
+	arg int64
+}
+
+// recorder is a miniature ring recorder.
+type recorder struct {
+	ring []event
+	next int
+}
+
+// badRecord stamps the event with the wall clock: flagged.
+func (r *recorder) badRecord(arg int64) {
+	at := time.Duration(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+	r.ring[r.next] = event{at: at, arg: arg}
+	r.next = (r.next + 1) % len(r.ring)
+}
+
+// allowedRecord is badRecord's suppressed twin.
+func (r *recorder) allowedRecord(arg int64) {
+	at := time.Duration(time.Now().UnixNano()) //lint:allow walltime fixture: proves suppression works
+	r.ring[r.next] = event{at: at, arg: arg}
+	r.next = (r.next + 1) % len(r.ring)
+}
+
+// okRecord stamps the event with virtual time read from the caller's
+// clock: the pattern internal/obs uses.
+func (r *recorder) okRecord(clk *sim.Clock, arg int64) {
+	r.ring[r.next] = event{at: clk.Now(), arg: arg}
+	r.next = (r.next + 1) % len(r.ring)
+}
+
+// badWait polls with a wall-clock sleep: flagged.
+func (r *recorder) badWait() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of log2 latency buckets. Bucket 0 holds
+// sub-nanosecond (zero) samples; bucket i holds [2^(i-1), 2^i)
+// nanoseconds; the last bucket is the overflow (anything from ~4.6
+// virtual minutes up).
+const HistBuckets = 39
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i (the
+// Prometheus le boundary). The last bucket has no finite bound.
+func BucketUpper(i int) time.Duration { return time.Duration(int64(1) << uint(i)) }
+
+// Histogram is an HDR-style log2-bucketed latency histogram. Record
+// is lock-free (three atomic adds plus a CAS loop for the max) and
+// allocation-free, so hot paths record unconditionally; quantiles are
+// computed from snapshots on the cold path. The zero value is ready
+// to use.
+type Histogram struct {
+	counts [HistBuckets]atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	count  atomic.Int64
+	max    atomic.Int64
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram into an immutable value. Buckets are
+// read without a global lock, so a snapshot taken concurrently with
+// recording is approximate (each counter individually consistent) —
+// exact once recording has quiesced.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	s.Count = h.count.Load()
+	s.Max = time.Duration(h.max.Load())
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram: a plain value
+// (fixed bucket array) that can ride inside stats structs without
+// allocation.
+type HistSnapshot struct {
+	Counts [HistBuckets]int64
+	Sum    time.Duration
+	Count  int64
+	Max    time.Duration
+}
+
+// Merge folds other into s (for service-wide aggregation).
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) as the upper bound
+// of the bucket holding the nearest-rank sample — a conservative
+// estimate within a factor of two, like HDR histograms at 0 precision
+// digits. The overflow bucket reports the recorded maximum. Returns
+// zero on an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i := 0; i < HistBuckets; i++ {
+		cum += s.Counts[i]
+		if cum >= rank {
+			if i == HistBuckets-1 {
+				return s.Max
+			}
+			return BucketUpper(i)
+		}
+	}
+	return s.Max
+}
+
+// P50 returns the median estimate.
+func (s HistSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P99 returns the 99th percentile estimate.
+func (s HistSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// P999 returns the 99.9th percentile estimate.
+func (s HistSnapshot) P999() time.Duration { return s.Quantile(0.999) }
+
+// Mean returns the average sample.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// promFloat renders a float in the repo's Prometheus exposition style.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePromHeader writes the # HELP / # TYPE histogram preamble for
+// metric name.
+func WritePromHeader(w io.Writer, name, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	return err
+}
+
+// WriteProm writes the snapshot as Prometheus histogram series:
+// cumulative name_bucket{...,le="..."} lines (le in seconds, log2
+// boundaries, emitted up to the last occupied bucket plus +Inf),
+// then name_sum and name_count. labels is the caller's label set
+// without braces (e.g. `shard="0"`); it may be empty.
+func (s HistSnapshot) WriteProm(w io.Writer, name, labels string) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	plain := ""
+	if labels != "" {
+		plain = "{" + labels + "}"
+	}
+	last := -1
+	for i := HistBuckets - 1; i >= 0; i-- {
+		if s.Counts[i] != 0 {
+			last = i
+			break
+		}
+	}
+	var cum int64
+	for i := 0; i <= last && i < HistBuckets-1; i++ {
+		cum += s.Counts[i]
+		le := promFloat(BucketUpper(i).Seconds())
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, plain, promFloat(s.Sum.Seconds())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, plain, s.Count)
+	return err
+}

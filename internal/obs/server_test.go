@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"memsnap/internal/sim"
+)
+
+// get performs one GET over a fresh loopback connection and returns
+// the status code and body.
+func get(t *testing.T, addr, path string) (int, []byte) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET %s HTTP/1.0\r\nHost: test\r\n\r\n", path)
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading status line: %v", err)
+	}
+	var proto string
+	var code int
+	if _, err := fmt.Sscanf(status, "%s %d", &proto, &code); err != nil {
+		t.Fatalf("bad status line %q: %v", status, err)
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading headers: %v", err)
+		}
+		if line == "\r\n" || line == "\n" {
+			break
+		}
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return code, body
+}
+
+func TestServerEndpoints(t *testing.T) {
+	clk := sim.NewClock()
+	clk.Advance(1500 * time.Millisecond)
+	rec := NewRecorder(64)
+	rec.Span(CatShard, NameGroupCommit, ShardTrack(0), time.Millisecond, time.Millisecond, 3)
+	rec.Instant(CatVM, NameTrackingFault, ShardTrack(0), 2*time.Millisecond, 7)
+
+	srv, err := Serve("127.0.0.1:0", ServerSources{
+		Metrics: func(w io.Writer) error {
+			_, err := io.WriteString(w, "# HELP memsnap_up 1 when serving\n# TYPE memsnap_up gauge\nmemsnap_up 1\n")
+			return err
+		},
+		Vars:  func() any { return map[string]int64{"commits": 42} },
+		Trace: func() []Event { return rec.Drain() },
+		Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	code, body := get(t, srv.Addr(), "/metricz")
+	if code != 200 || !bytes.Contains(body, []byte("memsnap_up 1")) {
+		t.Errorf("/metricz = %d %q", code, body)
+	}
+
+	code, body = get(t, srv.Addr(), "/varz")
+	if code != 200 {
+		t.Fatalf("/varz = %d %q", code, body)
+	}
+	var varz struct {
+		VirtualSeconds float64          `json:"virtual_now_seconds"`
+		Vars           map[string]int64 `json:"vars"`
+	}
+	if err := json.Unmarshal(body, &varz); err != nil {
+		t.Fatalf("/varz is not valid JSON: %v\n%s", err, body)
+	}
+	if varz.VirtualSeconds != 1.5 {
+		t.Errorf("virtual_now_seconds = %v, want 1.5", varz.VirtualSeconds)
+	}
+	if varz.Vars["commits"] != 42 {
+		t.Errorf("vars = %v, want commits:42", varz.Vars)
+	}
+
+	code, body = get(t, srv.Addr(), "/tracez")
+	if code != 200 {
+		t.Fatalf("/tracez = %d %q", code, body)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &trace); err != nil {
+		t.Fatalf("/tracez is not valid JSON: %v\n%s", err, body)
+	}
+	// Metadata lane + span + instant.
+	if len(trace.TraceEvents) != 3 {
+		t.Errorf("/tracez events = %d, want 3\n%s", len(trace.TraceEvents), body)
+	}
+	// The drain emptied the ring: a second scrape returns a valid empty
+	// trace.
+	code, body = get(t, srv.Addr(), "/tracez")
+	if code != 200 {
+		t.Fatalf("second /tracez = %d", code)
+	}
+	if err := json.Unmarshal(body, &trace); err != nil || len(trace.TraceEvents) != 0 {
+		t.Errorf("second /tracez = %v events (err %v), want empty valid JSON", len(trace.TraceEvents), err)
+	}
+
+	code, _ = get(t, srv.Addr(), "/nope")
+	if code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}
+
+func TestServerNoSources(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerSources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, srv.Addr(), "/metricz"); code != 404 {
+		t.Errorf("/metricz without source = %d, want 404", code)
+	}
+	code, body := get(t, srv.Addr(), "/varz")
+	if code != 200 || !strings.Contains(string(body), `"virtual_now_seconds": 0`) {
+		t.Errorf("/varz without sources = %d %q", code, body)
+	}
+	code, body = get(t, srv.Addr(), "/tracez")
+	if code != 200 || !bytes.Contains(body, []byte("traceEvents")) {
+		t.Errorf("/tracez without sources = %d %q", code, body)
+	}
+}
+
+func TestServerBadRequest(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerSources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /metricz HTTP/1.0\r\n\r\n")
+	resp, _ := io.ReadAll(conn)
+	if !bytes.Contains(resp, []byte("400")) {
+		t.Errorf("POST response = %q, want 400", resp)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerSources{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if _, err := net.Dial("tcp", srv.Addr()); err == nil {
+		t.Error("listener still accepting after Close")
+	}
+}

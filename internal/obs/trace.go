@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteTrace writes events as Chrome trace-event JSON (the "JSON
+// Array Format" with a traceEvents wrapper object), loadable directly
+// in Perfetto or chrome://tracing. Timestamps are virtual time
+// expressed in microseconds (the format's unit), with nanosecond
+// precision preserved as fractional digits.
+//
+// Span events export as complete ("X") events, instants as "i",
+// counters as "C". One thread-name metadata record per distinct track
+// labels the lanes (worker/shipper/follower per the Track
+// conventions). All names come from the closed Cat/Name enums, so the
+// output needs no JSON string escaping and is deterministic for a
+// deterministic event sequence.
+func WriteTrace(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+
+	// Lane metadata, in order of first appearance.
+	seen := map[int32]bool{}
+	for _, ev := range events {
+		if seen[ev.Track] {
+			continue
+		}
+		seen[ev.Track] = true
+		role, idx := TrackName(ev.Track)
+		if err := emit(`{"ph":"M","name":"thread_name","pid":0,"tid":%d,"args":{"name":"%s %d"}}`,
+			ev.Track, role, idx); err != nil {
+			return err
+		}
+	}
+
+	for _, ev := range events {
+		ts := usec(ev.Start)
+		switch ev.Kind {
+		case KindSpan:
+			if err := emit(`{"ph":"X","cat":"%s","name":"%s","pid":0,"tid":%d,"ts":%s,"dur":%s,"args":{"v":%d}}`,
+				ev.Cat, ev.Name, ev.Track, ts, usec(ev.Dur), ev.Arg); err != nil {
+				return err
+			}
+		case KindInstant:
+			if err := emit(`{"ph":"i","s":"t","cat":"%s","name":"%s","pid":0,"tid":%d,"ts":%s,"args":{"v":%d}}`,
+				ev.Cat, ev.Name, ev.Track, ts, ev.Arg); err != nil {
+				return err
+			}
+		case KindCounter:
+			if err := emit(`{"ph":"C","cat":"%s","name":"%s","pid":0,"tid":%d,"ts":%s,"args":{"value":%d}}`,
+				ev.Cat, ev.Name, ev.Track, ts, ev.Arg); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// usec renders a virtual duration as microseconds with fixed
+// nanosecond precision — deterministic (no float formatting
+// shortest-form variation across values).
+func usec(d time.Duration) string {
+	ns := int64(d)
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}

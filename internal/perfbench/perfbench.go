@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"memsnap/internal/core"
+	"memsnap/internal/obs"
 	"memsnap/internal/replica"
 	"memsnap/internal/sim"
 )
@@ -33,9 +34,10 @@ const pagesPerOp = 16
 const regionBytes int64 = 4 << 20
 
 // SteadyStateAllocCeiling is the committed CI ceiling for the
-// persist_steady scenario: steady-state Persist must stay
-// allocation-free (testing.AllocsPerRun reports whole allocations per
-// op, so any value below 1 means zero).
+// persist_steady and persist_steady_traced scenarios: steady-state
+// Persist must stay allocation-free — with lifecycle tracing enabled
+// too (testing.AllocsPerRun reports whole allocations per op, so any
+// value below 1 means zero).
 const SteadyStateAllocCeiling = 0.5
 
 // Scenario is one measured benchmark configuration.
@@ -100,7 +102,7 @@ func Run(scale float64) (*Report, error) {
 		Scale:    scale,
 		Baseline: PreChangeBaseline(),
 	}
-	for _, fn := range []func(int) (Scenario, error){steady, capture, captureReplicated} {
+	for _, fn := range []func(int) (Scenario, error){steady, steadyTraced, capture, captureReplicated} {
 		sc, err := fn(ops)
 		if err != nil {
 			return nil, err
@@ -114,7 +116,8 @@ func Run(scale float64) (*Report, error) {
 // ceilings: the steady-state scenario must be allocation-free.
 func CheckCeilings(r *Report) error {
 	for _, sc := range r.Scenarios {
-		if sc.Name == "persist_steady" && sc.AllocsPerOp > SteadyStateAllocCeiling {
+		if (sc.Name == "persist_steady" || sc.Name == "persist_steady_traced") &&
+			sc.AllocsPerOp > SteadyStateAllocCeiling {
 			return fmt.Errorf("perfbench: %s allocs/op = %g exceeds ceiling %g",
 				sc.Name, sc.AllocsPerOp, SteadyStateAllocCeiling)
 		}
@@ -209,6 +212,31 @@ func steady(ops int) (Scenario, error) {
 	return measure("persist_steady",
 		"dirty 16 pages + Persist(MSSync), warm pools, no capture",
 		ops, r.ctx.PersistLatency, r.dirtyAndPersist)
+}
+
+// steadyTraced is steady with observability on: a span recorder
+// attached to the context (persist-stage spans and fault instants land
+// in the ring every op) and a latency histogram sample per op. Held to
+// the same zero-allocation ceiling as persist_steady — tracing must be
+// free to leave enabled.
+func steadyTraced(ops int) (Scenario, error) {
+	r, err := newRig()
+	if err != nil {
+		return Scenario{}, err
+	}
+	rec := obs.NewRecorder(4096)
+	r.ctx.SetRecorder(rec, obs.ShardTrack(0))
+	var hist obs.Histogram
+	op := func() error {
+		if err := r.dirtyAndPersist(); err != nil {
+			return err
+		}
+		hist.Record(r.ctx.LastBreakdown.Total)
+		return nil
+	}
+	return measure("persist_steady_traced",
+		"dirty 16 pages + Persist(MSSync) with span recorder and latency histogram enabled",
+		ops, r.ctx.PersistLatency, op)
 }
 
 // capture measures persist with commit capture on: every op also

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"memsnap/internal/core"
+	"memsnap/internal/obs"
 	"memsnap/internal/shard"
 )
 
@@ -44,6 +45,10 @@ type FollowerConfig struct {
 	// StartAt positions the follower's clocks, e.g. at the recovery
 	// completion time when rejoining from a recovered store.
 	StartAt time.Duration
+	// Recorder, when set, receives apply/apply_batch spans (and the
+	// apply Contexts' persist/fault events) on each shard's follower
+	// lane (obs.FollowerTrack).
+	Recorder *obs.Recorder
 }
 
 func (c *FollowerConfig) fill() {
@@ -124,6 +129,7 @@ func NewFollower(sys *core.System, cfg FollowerConfig) (*Follower, error) {
 	for i := 0; i < cfg.Shards; i++ {
 		ctx := f.proc.NewContext(i)
 		ctx.Clock().AdvanceTo(cfg.StartAt)
+		ctx.SetRecorder(cfg.Recorder, obs.FollowerTrack(i))
 		pre := existing[shard.RegionName(i)]
 		region, err := f.proc.Open(ctx, shard.RegionName(i), cfg.RegionBytes)
 		if err != nil {
@@ -165,6 +171,7 @@ func (f *Follower) Apply(at time.Duration, d *Delta) (time.Duration, ApplyStatus
 	defer fs.mu.Unlock()
 	clk := fs.ctx.Clock()
 	clk.AdvanceTo(at)
+	applyStart := clk.Now()
 	switch {
 	case promoted || d.Era < fs.era:
 		fs.stale++
@@ -198,7 +205,9 @@ func (f *Follower) Apply(at time.Duration, d *Delta) (time.Duration, ApplyStatus
 	}
 	fs.lastSeq = d.Seq
 	fs.applied++
-	return clk.Now(), ApplyStatus{Code: ApplyOK, LastSeq: fs.lastSeq}
+	now := clk.Now()
+	f.cfg.Recorder.Span(obs.CatReplica, obs.NameApply, obs.FollowerTrack(d.Shard), applyStart, now-applyStart, int64(d.Seq))
+	return now, ApplyStatus{Code: ApplyOK, LastSeq: fs.lastSeq}
 }
 
 // ApplyBatch applies a coalesced run of consecutive same-era deltas
@@ -233,6 +242,7 @@ func (f *Follower) ApplyBatch(at time.Duration, ds []*Delta) (time.Duration, App
 	defer fs.mu.Unlock()
 	clk := fs.ctx.Clock()
 	clk.AdvanceTo(at)
+	applyStart := clk.Now()
 	switch {
 	case promoted || ds[0].Era < fs.era:
 		fs.stale++
@@ -271,7 +281,9 @@ func (f *Follower) ApplyBatch(at time.Duration, ds []*Delta) (time.Duration, App
 	fs.lastSeq = ds[len(ds)-1].Seq
 	fs.applied += int64(len(ds) - skip)
 	fs.batches++
-	return clk.Now(), ApplyStatus{Code: ApplyOK, LastSeq: fs.lastSeq}
+	now := clk.Now()
+	f.cfg.Recorder.Span(obs.CatReplica, obs.NameApplyBatch, obs.FollowerTrack(ds[0].Shard), applyStart, now-applyStart, int64(len(ds)-skip))
+	return now, ApplyStatus{Code: ApplyOK, LastSeq: fs.lastSeq}
 }
 
 // ApplySnapshot installs a full-region snapshot, replacing whatever

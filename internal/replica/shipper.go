@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"memsnap/internal/obs"
 	"memsnap/internal/shard"
 	"memsnap/internal/sim"
 )
@@ -46,6 +47,9 @@ type Config struct {
 	// MaxBatchBytes bounds a coalesced message's wire size
 	// (default 256 KiB).
 	MaxBatchBytes int
+	// Recorder, when set, receives ship/retry/snapshot trace spans on
+	// each shard's sender lane (obs.ShipTrack).
+	Recorder *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -88,8 +92,9 @@ type ShardRepStats struct {
 	// LastAckedSeq is the highest sequence number the follower acked.
 	LastAckedSeq uint64
 	// AckLatency summarizes per-delta latency from local durability
-	// to follower ack.
+	// to follower ack; AckHist is its log2-bucketed histogram.
 	AckLatency sim.Summary
+	AckHist    obs.HistSnapshot
 }
 
 type shipJob struct {
@@ -114,6 +119,9 @@ type shipShard struct {
 	retained []*Delta
 	st       ShardRepStats
 	ackLat   *sim.LatencyRecorder
+	// ackHist is the log2-bucketed twin of ackLat (lock-free record,
+	// exported as Prometheus _bucket/_sum/_count series).
+	ackHist obs.Histogram
 }
 
 // retain appends d to the replay history, keeping the last window
@@ -386,6 +394,9 @@ func (s *Shipper) deliverBatch(ss *shipShard, at time.Duration, batch []shipJob)
 			ss.st.Retries++
 		}
 		ss.mu.Unlock()
+		if try > 0 {
+			s.cfg.Recorder.Instant(obs.CatReplica, obs.NameRetry, obs.ShipTrack(ss.id), sendAt, int64(try))
+		}
 		arrive, ok := s.link.Deliver(sendAt, size)
 		last = arrive
 		if !ok {
@@ -419,6 +430,8 @@ func (s *Shipper) deliverBatch(ss *shipShard, at time.Duration, batch []shipJob)
 			ss.st.BatchedDeltas += int64(len(deltas))
 			ss.mu.Unlock()
 			ss.ackLat.Record(ackAt - at)
+			ss.ackHist.Record(ackAt - at)
+			s.cfg.Recorder.Span(obs.CatReplica, obs.NameShipBatch, obs.ShipTrack(ss.id), at, ackAt-at, int64(len(deltas)))
 			return ackAt
 		default:
 			// Stale, gap, partial duplicate: re-run the members through
@@ -465,6 +478,9 @@ func (s *Shipper) deliver(ss *shipShard, at time.Duration, d *Delta, snapFn func
 			ss.st.Retries++
 		}
 		ss.mu.Unlock()
+		if try > 0 {
+			s.cfg.Recorder.Instant(obs.CatReplica, obs.NameRetry, obs.ShipTrack(ss.id), sendAt, int64(try))
+		}
 		arrive, ok := s.link.Deliver(sendAt, d.WireSize())
 		last = arrive
 		if !ok {
@@ -496,6 +512,8 @@ func (s *Shipper) deliver(ss *shipShard, at time.Duration, d *Delta, snapFn func
 			}
 			ss.mu.Unlock()
 			ss.ackLat.Record(ackAt - at)
+			ss.ackHist.Record(ackAt - at)
+			s.cfg.Recorder.Span(obs.CatReplica, obs.NameShip, obs.ShipTrack(ss.id), at, ackAt-at, int64(d.Seq))
 			return ackAt, nil
 		case ApplyStale:
 			ss.mu.Lock()
@@ -598,6 +616,9 @@ func (s *Shipper) sendSnapshot(ss *shipShard, at time.Duration, snap *shard.Snap
 			ss.st.Retries++
 		}
 		ss.mu.Unlock()
+		if try > 0 {
+			s.cfg.Recorder.Instant(obs.CatReplica, obs.NameRetry, obs.ShipTrack(ss.id), sendAt, int64(try))
+		}
 		arrive, ok := s.link.Deliver(sendAt, size)
 		last = arrive
 		if !ok {
@@ -626,6 +647,7 @@ func (s *Shipper) sendSnapshot(ss *shipShard, at time.Duration, snap *shard.Snap
 			ss.st.LastAckedSeq = snap.Seq
 		}
 		ss.mu.Unlock()
+		s.cfg.Recorder.Span(obs.CatReplica, obs.NameSnapshot, obs.ShipTrack(ss.id), at, ackAt-at, int64(len(snap.Pages)))
 		return ackAt, nil
 	}
 	ss.mu.Lock()
@@ -697,6 +719,7 @@ func (s *Shipper) Stats() []ShardRepStats {
 		ss.mu.Unlock()
 		st.Shard = i
 		st.AckLatency = ss.ackLat.Summarize()
+		st.AckHist = ss.ackHist.Snapshot()
 		out[i] = st
 	}
 	return out

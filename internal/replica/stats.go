@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"memsnap/internal/obs"
 )
 
 func promFloat(v float64) string {
@@ -73,6 +75,18 @@ func (s *Shipper) FormatPrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "%s{shard=%q} %s\n", m.name, fmt.Sprint(st.Shard), m.value(st)); err != nil {
 				return err
 			}
+		}
+	}
+	// Replication ack latency as a proper histogram (log2 le
+	// boundaries in seconds), one per shard.
+	const histName = "memsnap_replica_ack_latency_seconds"
+	if err := obs.WritePromHeader(w, histName, "Durability-to-follower-ack latency histogram (virtual seconds)."); err != nil {
+		return err
+	}
+	for i := range stats {
+		st := &stats[i]
+		if err := st.AckHist.WriteProm(w, histName, fmt.Sprintf("shard=%q", fmt.Sprint(st.Shard))); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"memsnap/internal/obs"
 )
 
 // promFloat renders a float in Prometheus exposition style: integral
@@ -69,6 +71,52 @@ func FormatPrometheus(w io.Writer, stats []ShardStats) error {
 		for i := range stats {
 			st := &stats[i]
 			if _, err := fmt.Fprintf(w, "%s{shard=%q} %s\n", m.name, fmt.Sprint(st.Shard), m.value(st)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Latency histograms: proper _bucket/_sum/_count series with log2
+	// le boundaries in seconds, one per shard.
+	hists := []struct {
+		name, help string
+		snap       func(st *ShardStats) *obs.HistSnapshot
+	}{
+		{"memsnap_shard_commit_latency_seconds", "Group-commit ack latency histogram (virtual seconds).",
+			func(st *ShardStats) *obs.HistSnapshot { return &st.CommitHist }},
+		{"memsnap_shard_persist_latency_seconds", "uCheckpoint IO latency histogram, submit to durable (virtual seconds).",
+			func(st *ShardStats) *obs.HistSnapshot { return &st.PersistHist }},
+	}
+	for _, h := range hists {
+		if err := obs.WritePromHeader(w, h.name, h.help); err != nil {
+			return err
+		}
+		for i := range stats {
+			st := &stats[i]
+			labels := fmt.Sprintf("shard=%q", fmt.Sprint(st.Shard))
+			if err := h.snap(st).WriteProm(w, h.name, labels); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Trace-recorder accounting: the event ring is service-wide, so
+	// these are unlabeled (taken from the first row's snapshot).
+	if len(stats) > 0 {
+		o := stats[0].Obs
+		obsMetrics := []struct {
+			name, help string
+			value      int64
+		}{
+			{"memsnap_obs_events_recorded_total", "Trace events written into the ring recorder.", o.Recorded},
+			{"memsnap_obs_events_dropped_total", "Trace events offered but dropped (sampling or full ring).", o.Dropped},
+			{"memsnap_obs_ring_wraps_total", "Ring recorder cursor wraps (oldest events overwritten).", o.Wraps},
+		}
+		for _, m := range obsMetrics {
+			if err := promHeader(w, m.name, m.help, "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.value); err != nil {
 				return err
 			}
 		}

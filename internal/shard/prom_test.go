@@ -10,8 +10,18 @@ import (
 	"time"
 
 	"memsnap/internal/core"
+	"memsnap/internal/obs"
 	"memsnap/internal/sim"
 )
+
+// histSnap builds a deterministic histogram snapshot from samples.
+func histSnap(ds ...time.Duration) obs.HistSnapshot {
+	var h obs.Histogram
+	for _, d := range ds {
+		h.Record(d)
+	}
+	return h.Snapshot()
+}
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite golden files under testdata")
 
@@ -36,6 +46,9 @@ func TestFormatPrometheusGolden(t *testing.T) {
 				InitiateWrites: 750 * time.Microsecond,
 				WaitIO:         4 * time.Millisecond,
 			},
+			CommitHist:  histSnap(time.Millisecond, time.Millisecond, 2*time.Millisecond),
+			PersistHist: histSnap(500*time.Microsecond, 900*time.Microsecond, time.Millisecond),
+			Obs:         obs.RecorderStats{Recorded: 42, Dropped: 1, Wraps: 2, Capacity: 1024},
 		},
 		{
 			Shard: 1, Ops: 7, Reads: 7,
@@ -65,15 +78,21 @@ func TestFormatPrometheusGolden(t *testing.T) {
 	}
 }
 
-// promLineRe is the shape every non-comment exposition line must have.
-var promLineRe = regexp.MustCompile(`^[a-z0-9_]+\{shard="-?\d+"\} -?[0-9.e+-]+$`)
+// Exposition line shapes: plain {shard} series (including histogram
+// _sum/_count), histogram _bucket series with an le label, and the
+// unlabeled service-wide obs counters.
+var (
+	promLineRe   = regexp.MustCompile(`^[a-z0-9_]+\{shard="-?\d+"\} -?[0-9.e+-]+$`)
+	promBucketRe = regexp.MustCompile(`^[a-z0-9_]+_bucket\{shard="-?\d+",le="(\+Inf|[0-9.e+-]+)"\} \d+$`)
+	promPlainRe  = regexp.MustCompile(`^[a-z0-9_]+ -?[0-9.e+-]+$`)
+)
 
 // TestServiceFormatPrometheus runs the formatter against a live
 // service and checks the output is well-formed exposition text with
 // every metric present for every shard.
 func TestServiceFormatPrometheus(t *testing.T) {
 	sys := newSystem(t, 2)
-	svc, err := New(sys, Config{Shards: 2})
+	svc, err := New(sys, Config{Shards: 2, Recorder: obs.NewRecorder(256)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,18 +104,43 @@ func TestServiceFormatPrometheus(t *testing.T) {
 	if err := svc.FormatPrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	series := 0
+	var series, buckets, plain int
 	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
 		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		if !promLineRe.Match(line) {
+		switch {
+		case promBucketRe.Match(line):
+			buckets++
+		case promLineRe.Match(line):
+			series++
+		case promPlainRe.Match(line):
+			plain++
+		default:
 			t.Errorf("malformed exposition line: %q", line)
 		}
-		series++
 	}
-	const metrics = 13
-	if want := metrics * 2; series != want {
-		t.Errorf("got %d series lines, want %d (%d metrics x 2 shards)", series, want, metrics)
+	// 13 per-shard metrics plus _sum and _count for the two latency
+	// histograms, times 2 shards.
+	const metrics, hists, shards = 13, 2, 2
+	if want := (metrics + 2*hists) * shards; series != want {
+		t.Errorf("got %d series lines, want %d", series, want)
+	}
+	// Every histogram emits at least its +Inf bucket per shard.
+	if want := hists * shards; buckets < want {
+		t.Errorf("got %d bucket lines, want at least %d", buckets, want)
+	}
+	// The three unlabeled obs recorder counters.
+	if plain != 3 {
+		t.Errorf("got %d unlabeled lines, want 3 (obs counters)", plain)
+	}
+	for _, name := range []string{
+		"memsnap_obs_events_recorded_total",
+		"memsnap_shard_commit_latency_seconds_bucket",
+		"memsnap_shard_persist_latency_seconds_count",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(name)) {
+			t.Errorf("exposition missing %s", name)
+		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"memsnap/internal/core"
 	"memsnap/internal/objstore"
+	"memsnap/internal/obs"
 )
 
 // Service errors.
@@ -136,6 +137,12 @@ type Config struct {
 	// client acks until the replicator returns. See the Replicator
 	// interface.
 	Replicator Replicator
+	// Recorder, when set, receives lifecycle trace events from every
+	// shard: worker fault instants and persist-stage spans (via the
+	// worker Context) plus queue-wait and group-commit spans, each on
+	// the shard's trace lane (obs.ShardTrack). Drain it through
+	// obs.WriteTrace or the obs server's /tracez.
+	Recorder *obs.Recorder
 }
 
 func (c *Config) fill() {
@@ -201,11 +208,14 @@ type Service struct {
 }
 
 // request is an Op plus its response channel. ack buffers a write's
-// apply-time response until its group commit is durable.
+// apply-time response until its group commit is durable. at is the
+// worker-clock virtual time the request was enqueued (read atomically
+// from the client goroutine), feeding the queue-wait trace span.
 type request struct {
 	op   Op
 	resp chan Response
 	ack  Response
+	at   time.Duration
 }
 
 // RegionName returns the fixed region name for a shard. Followers use
@@ -254,6 +264,7 @@ func open(sys *core.System, cfg Config) (*Service, error) {
 	for i := 0; i < cfg.Shards; i++ {
 		ctx := s.proc.NewContext(i)
 		ctx.Clock().AdvanceTo(cfg.StartAt)
+		ctx.SetRecorder(cfg.Recorder, obs.ShardTrack(i))
 		pre := existing[RegionName(i)]
 		region, err := s.proc.Open(ctx, RegionName(i), cfg.RegionBytes)
 		if err != nil {
@@ -388,6 +399,9 @@ func (s *Service) submit(sh *shard, r *request, block bool) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	// Stamp the enqueue time for the queue-wait span. Cross-goroutine
+	// reads of a worker clock go through its atomic Now.
+	r.at = sh.ctx.Clock().Now()
 	if block {
 		sh.noteDepth(len(sh.queue) + 1)
 		select {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"memsnap/internal/core"
+	"memsnap/internal/obs"
 	"memsnap/internal/sim"
 )
 
@@ -36,12 +37,23 @@ type ShardStats struct {
 	// the pipeline's stages (reset write tracking, initiate IO, wait
 	// for durability), as of the last group commit.
 	PersistStages core.PersistStageTotals
+	// CommitHist is the log2-bucketed histogram of group-commit ack
+	// latency (apply start to writer ack); PersistHist covers the IO
+	// window (uCheckpoint submit to durable). Both are value snapshots.
+	CommitHist  obs.HistSnapshot
+	PersistHist obs.HistSnapshot
+	// Obs snapshots the service's trace-recorder accounting (events
+	// recorded / dropped / ring wraps). The recorder is service-wide,
+	// so every shard row carries the same values; zero when no
+	// Recorder is configured.
+	Obs obs.RecorderStats
 }
 
 // Stats snapshots every shard's statistics. Safe to call while the
 // service is running.
 func (s *Service) Stats() []ShardStats {
 	out := make([]ShardStats, 0, len(s.shards))
+	recStats := s.cfg.Recorder.Stats()
 	for _, sh := range s.shards {
 		sh.statsMu.Lock()
 		st := ShardStats{
@@ -55,6 +67,9 @@ func (s *Service) Stats() []ShardStats {
 			LastCommitDurable: sh.lastDur,
 			Elapsed:           sh.ctx.Clock().Now() - sh.startedAt,
 			PersistStages:     sh.stages,
+			CommitHist:        sh.commitHist.Snapshot(),
+			PersistHist:       sh.persistHist.Snapshot(),
+			Obs:               recStats,
 		}
 		if sh.commits > 0 {
 			st.BatchOccupancy = float64(sh.batchOps) / float64(sh.commits)
@@ -95,6 +110,8 @@ func (s *Service) TotalStats() ShardStats {
 		total.PersistStages.InitiateWrites += sh.stages.InitiateWrites
 		total.PersistStages.WaitIO += sh.stages.WaitIO
 		sh.statsMu.Unlock()
+		total.CommitHist.Merge(sh.commitHist.Snapshot())
+		total.PersistHist.Merge(sh.persistHist.Snapshot())
 		if hw := int(sh.queueHW.Load()); hw > total.QueueHighWater {
 			total.QueueHighWater = hw
 		}
@@ -106,5 +123,6 @@ func (s *Service) TotalStats() ShardStats {
 		total.BatchOccupancy = 0
 	}
 	total.CommitLatency = merged.Summarize()
+	total.Obs = s.cfg.Recorder.Stats()
 	return total
 }

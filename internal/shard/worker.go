@@ -8,6 +8,7 @@ import (
 
 	"memsnap/internal/core"
 	"memsnap/internal/objstore"
+	"memsnap/internal/obs"
 	"memsnap/internal/sim"
 )
 
@@ -40,6 +41,12 @@ type shard struct {
 	stages   core.PersistStageTotals
 	rejected atomic.Int64
 	queueHW  atomic.Int64
+
+	// Latency histograms (log2 buckets, lock-free record): commitHist
+	// tracks apply-start to writer-ack, persistHist tracks IO submit to
+	// durable. Recorded by the worker in retire; snapshotted by Stats.
+	commitHist  obs.Histogram
+	persistHist obs.Histogram
 }
 
 func newLatency() *sim.LatencyRecorder { return sim.NewLatencyRecorder() }
@@ -61,6 +68,7 @@ type pendingBatch struct {
 	epoch  objstore.Epoch
 	writes []*request
 	start  time.Duration // virtual time the batch began applying
+	submit time.Duration // virtual time the uCheckpoint IO was initiated
 	commit *Commit       // captured delta, when a Replicator is attached
 }
 
@@ -143,6 +151,10 @@ func (sh *shard) gather(first *request) []*request {
 // when the batch dirtied nothing.
 func (sh *shard) apply(batch []*request) *pendingBatch {
 	start := sh.ctx.Clock().Now()
+	// One queue-wait span per batch: enqueue of the oldest request to
+	// apply start (the worker clock is monotone past every stamp).
+	sh.svc.cfg.Recorder.Span(obs.CatShard, obs.NameQueueWait, obs.ShardTrack(sh.id),
+		batch[0].at, start-batch[0].at, int64(len(batch)))
 	var writes []*request
 	var reads, writeOps int64
 	for _, r := range batch {
@@ -208,7 +220,7 @@ func (sh *shard) apply(batch []*request) *pendingBatch {
 			commit = &Commit{Seq: sh.tab.man.commits, Era: sh.tab.man.era, Epoch: epoch, Pages: pages, Owned: true}
 		}
 	}
-	return &pendingBatch{epoch: epoch, writes: writes, start: start, commit: commit}
+	return &pendingBatch{epoch: epoch, writes: writes, start: start, submit: submitAt, commit: commit}
 }
 
 // applyOne executes a single op. isWrite reports that the op dirtied
@@ -300,6 +312,10 @@ func (sh *shard) retire(b *pendingBatch) {
 		shipErr = err
 	}
 	now := sh.ctx.Clock().Now()
+	sh.commitHist.Record(now - b.start)
+	sh.persistHist.Record(durable - b.submit)
+	sh.svc.cfg.Recorder.Span(obs.CatShard, obs.NameGroupCommit, obs.ShardTrack(sh.id),
+		b.start, now-b.start, int64(len(b.writes)))
 	sh.statsMu.Lock()
 	sh.lastDur = durable
 	sh.commitLat.Record(now - b.start)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"memsnap/internal/mem"
+	"memsnap/internal/obs"
 	"memsnap/internal/pagetable"
 	"memsnap/internal/sim"
 	"memsnap/internal/tlb"
@@ -29,6 +30,19 @@ type Thread struct {
 	// Buckets, when set, receives fault-handler CPU time under the
 	// "page faults" label (Tables 1 and 8 accounting).
 	Buckets *sim.TimeBuckets
+
+	// rec, when non-nil, receives fault instants (tracking fault,
+	// in-flight COW, page-in) on the recTrack trace lane, stamped with
+	// the thread's virtual clock.
+	rec      *obs.Recorder
+	recTrack int32
+}
+
+// SetRecorder attaches (or with nil detaches) an observability
+// recorder for the thread's fault instants on the given trace lane.
+func (t *Thread) SetRecorder(r *obs.Recorder, track int32) {
+	t.rec = r
+	t.recTrack = track
 }
 
 // NewThread registers a new thread in the address space, running on
@@ -97,6 +111,7 @@ func (t *Thread) translate(addr uint64, write bool) *mem.Page {
 		t.chargeFault(as.costs.MinorFault)
 		as.stats.PageIns++
 		pageIdx := (addr - m.Start) / PageSize
+		t.rec.Instant(obs.CatVM, obs.NamePageIn, t.recTrack, t.clock.Now(), int64(pageIdx))
 		var pg *mem.Page
 		if m.SharedPages != nil {
 			pg = m.SharedPages[pageIdx]
@@ -141,6 +156,7 @@ func (t *Thread) writeFaultLocked(m *Mapping, vpn uint64, pte *pagetable.PTE) {
 		// an atomic snapshot while the writer proceeds on the copy.
 		t.chargeFault(as.costs.COWFault)
 		as.stats.COWFaults++
+		t.rec.Instant(obs.CatVM, obs.NameCOWFault, t.recTrack, t.clock.Now(), int64(vpn))
 		dup := as.phys.Copy(t.clock, pg)
 		pg.RemoveMapping(as, vpn)
 		dup.AddMapping(mem.ReverseMapping{Owner: as, VPN: vpn})
@@ -154,6 +170,7 @@ func (t *Thread) writeFaultLocked(m *Mapping, vpn uint64, pte *pagetable.PTE) {
 		// Tracking fault: no copy.
 		t.chargeFault(as.costs.MinorFault)
 		as.stats.TrackingFaults++
+		t.rec.Instant(obs.CatVM, obs.NameTrackingFault, t.recTrack, t.clock.Now(), int64(vpn))
 	}
 
 	pte.Writable = true

@@ -1,0 +1,321 @@
+// Command msnap-load is the external load generator for the real-TCP
+// data plane: configurable connections × pipeline depth × get/put mix
+// with zipfian key popularity, producing a real-machine ops/s and
+// tail-latency baseline written to BENCH_net.json (alongside the
+// persist hot-path report in BENCH_persist.json).
+//
+// Usage:
+//
+//	msnap-load -addr HOST:PORT [flags]      drive an external msnap-serve
+//	msnap-load -spawn [flags]               spawn an in-process server on
+//	                                        loopback and also measure
+//	                                        steady-state allocations/op
+//
+// In -spawn mode the whole serving path (client, TCP loopback, server,
+// shard workers) runs in one process, so runtime.MemStats brackets the
+// measured window and -max-allocs-per-op can gate CI on the per-op
+// allocation ceiling. Latencies are wall-clock: this tool measures the
+// real service boundary, not the simulation inside it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memsnap/internal/core"
+	"memsnap/internal/netsvc"
+	"memsnap/internal/obs"
+	"memsnap/internal/proto"
+	"memsnap/internal/shard"
+	"memsnap/internal/sim"
+)
+
+type config struct {
+	Addr     string  `json:"addr,omitempty"`
+	Spawn    bool    `json:"spawn"`
+	Conns    int     `json:"conns"`
+	Pipeline int     `json:"pipeline"`
+	Ops      int64   `json:"ops"`
+	Warmup   int64   `json:"warmup"`
+	GetPct   int     `json:"get_pct"`
+	Tenants  int     `json:"tenants"`
+	Keys     int     `json:"keys"`
+	Theta    float64 `json:"theta"`
+	Seed     uint64  `json:"seed"`
+	Shards   int     `json:"shards"`
+}
+
+type latencyUs struct {
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+type result struct {
+	Ops            int64     `json:"ops"`
+	Retries        int64     `json:"retries"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	OpsPerSec      float64   `json:"ops_per_sec"`
+	LatencyUs      latencyUs `json:"latency_us"`
+	// Server-side fields, populated in -spawn mode only.
+	ServerAllocsPerOp float64 `json:"server_allocs_per_op,omitempty"`
+	RetryAfter        int64   `json:"retry_after_responses,omitempty"`
+	BytesIn           int64   `json:"bytes_in,omitempty"`
+	BytesOut          int64   `json:"bytes_out,omitempty"`
+}
+
+type report struct {
+	Note   string `json:"note"`
+	Config config `json:"config"`
+	Result result `json:"result"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var cfg config
+	flag.StringVar(&cfg.Addr, "addr", "", "server address (empty with -spawn)")
+	flag.BoolVar(&cfg.Spawn, "spawn", false, "spawn an in-process server on loopback")
+	flag.IntVar(&cfg.Conns, "conns", 4, "client connections")
+	flag.IntVar(&cfg.Pipeline, "pipeline", 16, "pipeline depth (concurrent ops per connection)")
+	flag.Int64Var(&cfg.Ops, "ops", 20000, "measured operations")
+	flag.Int64Var(&cfg.Warmup, "warmup", 2000, "warmup operations before the measured window")
+	flag.IntVar(&cfg.GetPct, "get", 80, "percentage of gets (rest are puts)")
+	flag.IntVar(&cfg.Tenants, "tenants", 4, "tenant count")
+	flag.IntVar(&cfg.Keys, "keys", 10000, "key-space size")
+	flag.Float64Var(&cfg.Theta, "theta", 0.99, "zipfian skew (0 < theta < 1)")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "workload RNG seed")
+	flag.IntVar(&cfg.Shards, "shards", 8, "shard count (-spawn mode)")
+	out := flag.String("out", "", "write a JSON report to this path")
+	maxAllocs := flag.Float64("max-allocs-per-op", 0,
+		"fail when -spawn steady-state allocations/op exceed this ceiling (0: no gate)")
+	flag.Parse()
+
+	if cfg.Spawn == (cfg.Addr != "") {
+		fmt.Fprintln(os.Stderr, "msnap-load: exactly one of -addr or -spawn is required")
+		return 2
+	}
+
+	addr := cfg.Addr
+	var srv *netsvc.Server
+	var svc *shard.Service
+	if cfg.Spawn {
+		sys, err := core.NewSystem(core.Options{CPUs: cfg.Shards, DiskBytesEach: 512 << 20})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
+			return 1
+		}
+		svc, err = shard.New(sys, shard.Config{Shards: cfg.Shards})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
+			return 1
+		}
+		srv, err = netsvc.Serve("127.0.0.1:0", svc, netsvc.Config{MaxInFlight: cfg.Pipeline})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
+			return 1
+		}
+		addr = srv.Addr()
+	}
+
+	clients, err := dialAll(addr, cfg.Conns, cfg.Pipeline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
+		return 1
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	// Pre-built workload vocabulary: all key/tenant bytes exist before
+	// the measured window, keeping the client's own allocations out of
+	// the server-side measurement.
+	tenants := make([][]byte, cfg.Tenants)
+	for i := range tenants {
+		tenants[i] = []byte(fmt.Sprintf("t%02d", i))
+	}
+	keys := make([][]byte, cfg.Keys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%06d", i))
+	}
+	zipf := sim.NewZipf(int64(cfg.Keys), cfg.Theta)
+
+	// Warmup: populate server-side intern tables, pools and map
+	// buckets, and heat the key space.
+	if cfg.Warmup > 0 {
+		drive(clients, cfg, tenants, keys, zipf, cfg.Warmup, 0, nil)
+	}
+
+	var m0, m1 runtime.MemStats
+	if cfg.Spawn {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+	}
+	var hist obs.Histogram
+	start := time.Now() //lint:allow walltime load generator measures the real service boundary
+	drive(clients, cfg, tenants, keys, zipf, cfg.Ops, 1, &hist)
+	elapsed := time.Since(start) //lint:allow walltime load generator measures the real service boundary
+	if cfg.Spawn {
+		runtime.ReadMemStats(&m1)
+	}
+
+	var retries int64
+	for _, c := range clients {
+		retries += c.Retries()
+	}
+	snap := hist.Snapshot()
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	res := result{
+		Ops:            cfg.Ops,
+		Retries:        retries,
+		ElapsedSeconds: elapsed.Seconds(),
+		OpsPerSec:      float64(cfg.Ops) / elapsed.Seconds(),
+		LatencyUs: latencyUs{
+			P50:  us(snap.P50()),
+			P99:  us(snap.P99()),
+			P999: us(snap.P999()),
+			Mean: us(snap.Mean()),
+			Max:  us(snap.Max),
+		},
+	}
+	if cfg.Spawn {
+		res.ServerAllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(cfg.Ops)
+		st := srv.Stats()
+		res.RetryAfter = st.RetryAfter
+		res.BytesIn = st.BytesIn
+		res.BytesOut = st.BytesOut
+	}
+
+	fmt.Printf("msnap-load: %d ops in %.2fs = %.0f ops/s  p50=%.1fus p99=%.1fus p999=%.1fus  retries=%d\n",
+		res.Ops, res.ElapsedSeconds, res.OpsPerSec,
+		res.LatencyUs.P50, res.LatencyUs.P99, res.LatencyUs.P999, res.Retries)
+	if cfg.Spawn {
+		fmt.Printf("msnap-load: server-side %.2f allocs/op, %d bytes in, %d bytes out\n",
+			res.ServerAllocsPerOp, res.BytesIn, res.BytesOut)
+	}
+
+	if *out != "" {
+		rep := report{
+			Note:   "real-TCP data plane baseline: msnap-load against netsvc over loopback; wall-clock client-visible latency",
+			Config: cfg,
+			Result: res,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
+			return 1
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+
+	// Close the clients before draining the spawned server so Close
+	// does not wait on open-but-idle connections.
+	for _, c := range clients {
+		c.Close()
+	}
+	if cfg.Spawn {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-load: drain: %v\n", err)
+			return 1
+		}
+		if err := svc.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-load: close: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.Spawn && *maxAllocs > 0 && res.ServerAllocsPerOp > *maxAllocs {
+		fmt.Fprintf(os.Stderr, "msnap-load: steady-state %.2f allocs/op exceed the ceiling %.2f/op\n",
+			res.ServerAllocsPerOp, *maxAllocs)
+		return 1
+	}
+	return 0
+}
+
+// dialAll connects n pipelined clients, retrying briefly so a server
+// that is still binding (CI backgrounds it) does not fail the run.
+func dialAll(addr string, n, depth int) ([]*netsvc.Client, error) {
+	clients := make([]*netsvc.Client, 0, n)
+	for i := 0; i < n; i++ {
+		var c *netsvc.Client
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			c, err = netsvc.Dial(addr, depth)
+			if err == nil {
+				break
+			}
+			time.Sleep(100 * time.Millisecond) //lint:allow walltime dial retry against a real server
+		}
+		if err != nil {
+			for _, cc := range clients {
+				cc.Close()
+			}
+			return nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		clients = append(clients, c)
+	}
+	return clients, nil
+}
+
+// drive runs total ops across every client × pipeline-depth worker.
+// Each worker owns a deterministic RNG derived from the seed, so the
+// key sequence replays bit-for-bit; hist (when set) records per-op
+// wall latency including RETRY_AFTER backoff and resends.
+func drive(clients []*netsvc.Client, cfg config, tenants, keys [][]byte, zipf *sim.Zipf, total int64, phase uint64, hist *obs.Histogram) {
+	var counter atomic.Int64
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for ci, c := range clients {
+		for p := 0; p < cfg.Pipeline; p++ {
+			wg.Add(1)
+			go func(c *netsvc.Client, worker uint64) {
+				defer wg.Done()
+				rng := sim.NewRNG(cfg.Seed + phase<<32 + worker)
+				var q proto.Request
+				for counter.Add(1) <= total {
+					q = proto.Request{
+						Tenant: tenants[rng.Intn(len(tenants))],
+						Key:    keys[zipf.Next(rng)],
+					}
+					if rng.Intn(100) < cfg.GetPct {
+						q.Kind = proto.KindGet
+					} else {
+						q.Kind = proto.KindPut
+						q.Value = rng.Uint64() % 1000
+					}
+					opStart := time.Now() //lint:allow walltime client-visible latency of the real service
+					p, err := c.Do(&q)
+					if err != nil {
+						failed.Add(1)
+						return
+					}
+					if hist != nil {
+						hist.Record(time.Since(opStart)) //lint:allow walltime client-visible latency of the real service
+					}
+					if p.Status != proto.StatusOK {
+						failed.Add(1)
+						return
+					}
+				}
+			}(c, uint64(ci)*uint64(cfg.Pipeline)+uint64(p))
+		}
+	}
+	wg.Wait()
+	if n := failed.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "msnap-load: %d workers aborted on errors\n", n)
+		os.Exit(1)
+	}
+}

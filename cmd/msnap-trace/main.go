@@ -28,7 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
+	"net" //lint:allow sockio smoke client for the obs loopback endpoint
 	"os"
 	"sync"
 

@@ -98,6 +98,7 @@ func Analyzers() []*Analyzer {
 		GlobalRand,
 		ClockCapture,
 		FaultPath,
+		SockIO,
 	}
 }
 

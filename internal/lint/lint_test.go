@@ -193,7 +193,7 @@ func TestAnalyzerDocs(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"walltime", "globalrand", "clockcapture", "faultpath"} {
+	for _, want := range []string{"walltime", "globalrand", "clockcapture", "faultpath", "sockio"} {
 		if !seen[want] {
 			t.Errorf("suite is missing the %s analyzer", want)
 		}

@@ -1,0 +1,13 @@
+// Fixture for the sockio analyzer. The harness loads this package
+// under a synthetic memsnap/internal/... import path so the
+// internal/+cmd/ scoping applies.
+package sockio
+
+import (
+	_ "net"      // want `real-socket I/O belongs only to documented wall boundaries`
+	_ "net/http" // want `real-socket I/O belongs only to documented wall boundaries`
+)
+
+// Non-socket networking-adjacent stdlib stays legal: the rule is about
+// opening real sockets, not about parsing addresses or URLs.
+import _ "net/url"

@@ -1,0 +1,7 @@
+package sockio
+
+// The escape hatch: a suppressed import passes while its unsuppressed
+// twin in sockio.go fails.
+import (
+	_ "net" //lint:allow sockio fixture: proves suppression works
+)

@@ -1,0 +1,80 @@
+package netsvc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"memsnap/internal/proto"
+	"memsnap/internal/shard"
+)
+
+// maxAllocsPerOp is the CI-enforced ceiling on whole-process
+// steady-state heap allocations per network op (server + lean client
+// over loopback TCP). The serving path is designed to stay flat: the
+// frame reader reuses one buffer, request structs are pooled, tenant
+// and key strings are interned per connection, and the client reuses
+// per-slot encode buffers — what remains is composeKey and small
+// worker-side batch bookkeeping. Measured ~6 allocs/op; the ceiling
+// leaves headroom for runtime noise, not for regressions.
+const maxAllocsPerOp = 24
+
+// TestSteadyStateAllocsPerOp pins the per-op allocation budget of the
+// whole serving path: a put/get mix over a real loopback connection,
+// measured with runtime.MemStats after a warmup that populates the
+// intern tables and pools.
+func TestSteadyStateAllocsPerOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	svc := newService(t, shard.Config{Shards: 4})
+	defer svc.Close()
+	srv := startServer(t, svc, Config{})
+	defer srv.Close()
+
+	c, err := Dial(srv.Addr(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const keys = 64
+	tenants := [][]byte{[]byte("acme"), []byte("globex")}
+	keyb := make([][]byte, keys)
+	for i := range keyb {
+		keyb[i] = []byte(fmt.Sprintf("key%03d", i))
+	}
+	op := func(i int) {
+		q := proto.Request{Tenant: tenants[i%len(tenants)], Key: keyb[i%keys], Value: uint64(i)}
+		if i%4 == 0 {
+			q.Kind = proto.KindPut
+		} else {
+			q.Kind = proto.KindGet
+		}
+		p, err := c.Do(&q)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if p.Status != proto.StatusOK {
+			t.Fatalf("op %d status: %v", i, p.Status)
+		}
+	}
+
+	// Warmup: fill intern tables, request pools, map buckets, bufio.
+	for i := 0; i < 2*keys; i++ {
+		op(i)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	const ops = 2000
+	for i := 0; i < ops; i++ {
+		op(i)
+	}
+	runtime.ReadMemStats(&m1)
+	perOp := float64(m1.Mallocs-m0.Mallocs) / ops
+	t.Logf("steady-state allocations: %.2f/op (%d ops)", perOp, ops)
+	if perOp > maxAllocsPerOp {
+		t.Fatalf("steady-state allocations %.2f/op exceed the ceiling %d/op", perOp, maxAllocsPerOp)
+	}
+}

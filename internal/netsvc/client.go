@@ -1,0 +1,188 @@
+package netsvc
+
+import (
+	"errors"
+	"net" //lint:allow sockio reference client for the real-TCP data plane
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memsnap/internal/proto"
+)
+
+// ErrClientClosed is returned by Do once the connection is gone.
+var ErrClientClosed = errors.New("netsvc: client closed")
+
+// clientSlot is one pipelined request slot. id is atomic because the
+// reader goroutine checks it to route (and drop stale) responses; ch
+// has capacity 1 so the reader never blocks; buf is the slot-owned
+// encode buffer, making steady-state sends allocation-free.
+type clientSlot struct {
+	id  atomic.Uint64
+	ch  chan proto.Response
+	buf []byte
+}
+
+// Client is a pipelined protocol client: up to depth concurrent Do
+// calls share one TCP connection, each owning a slot for the duration
+// of its request. Request ids are slot|generation, so a late or stale
+// response can never be delivered to the wrong caller. Do transparently
+// retries RETRY_AFTER responses after the server's backoff hint —
+// the client half of the wire backpressure contract.
+type Client struct {
+	c     net.Conn
+	wmu   sync.Mutex
+	slots []clientSlot
+	free  chan uint32
+	done  chan struct{}
+
+	retries  atomic.Int64
+	closed   atomic.Bool
+	readErr  error // set before done is closed
+	closeOne sync.Once
+}
+
+// Dial connects to a netsvc server with the given pipeline depth
+// (minimum 1).
+func Dial(addr string, depth int) (*Client, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		c:     nc,
+		slots: make([]clientSlot, depth),
+		free:  make(chan uint32, depth),
+		done:  make(chan struct{}),
+	}
+	for i := range c.slots {
+		c.slots[i].ch = make(chan proto.Response, 1)
+		c.slots[i].buf = make([]byte, 0, 128)
+		c.free <- uint32(i)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop routes response frames to their slots by id.
+func (c *Client) readLoop() {
+	fr := proto.NewFrameReader(c.c, 0)
+	var p proto.Response
+	for {
+		payload, err := fr.Next()
+		if err != nil {
+			c.readErr = err
+			close(c.done)
+			return
+		}
+		if err := proto.DecodeResponse(payload, &p); err != nil {
+			c.readErr = err
+			close(c.done)
+			return
+		}
+		slot := uint32(p.ID & 0xffffffff)
+		if int(slot) >= len(c.slots) {
+			continue // not ours; ignore
+		}
+		s := &c.slots[slot]
+		if s.id.Load() != p.ID {
+			continue // stale generation
+		}
+		s.ch <- p // capacity 1, slot exclusively owned: never blocks
+	}
+}
+
+// DoOnce sends one request and waits for its response without
+// retrying, exposing RETRY_AFTER (and every other status) to the
+// caller. q.ID is overwritten with the slot-generation id.
+func (c *Client) DoOnce(q *proto.Request) (proto.Response, error) {
+	var slot uint32
+	select {
+	case slot = <-c.free:
+	case <-c.done:
+		return proto.Response{}, c.closeErr()
+	}
+	s := &c.slots[slot]
+	gen := (s.id.Load() >> 32) + 1
+	id := gen<<32 | uint64(slot)
+	s.id.Store(id)
+	q.ID = id
+	var err error
+	s.buf, err = proto.AppendRequest(s.buf[:0], q)
+	if err != nil {
+		c.free <- slot
+		return proto.Response{}, err
+	}
+	c.wmu.Lock()
+	_, err = c.c.Write(s.buf)
+	c.wmu.Unlock()
+	if err != nil {
+		c.free <- slot
+		return proto.Response{}, err
+	}
+	select {
+	case p := <-s.ch:
+		c.free <- slot
+		return p, nil
+	case <-c.done:
+		// done is closed only after the read loop has exited, so any
+		// response for this slot was already delivered: prefer it over
+		// the close (the select above picks arbitrarily when both are
+		// ready).
+		select {
+		case p := <-s.ch:
+			c.free <- slot
+			return p, nil
+		default:
+		}
+		// Mark the slot stale before freeing so nothing lands in the
+		// next generation.
+		s.id.Store(0)
+		c.free <- slot
+		return proto.Response{}, c.closeErr()
+	}
+}
+
+// Do sends one request and waits for a terminal response, resending
+// after the server's backoff hint for as long as it answers
+// RETRY_AFTER (the server guarantees a RETRY_AFTER'd request was not
+// applied, so the resend is safe for non-idempotent ops too).
+func (c *Client) Do(q *proto.Request) (proto.Response, error) {
+	for {
+		p, err := c.DoOnce(q)
+		if err != nil || !p.Status.Retryable() {
+			return p, err
+		}
+		c.retries.Add(1)
+		backoff := p.RetryAfter
+		if backoff <= 0 {
+			backoff = 100 * time.Microsecond
+		}
+		time.Sleep(backoff) //lint:allow walltime wire-level retry backoff against a real server
+	}
+}
+
+// Retries returns the number of RETRY_AFTER-triggered resends.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+func (c *Client) closeErr() error {
+	if c.closed.Load() {
+		return ErrClientClosed
+	}
+	if err := c.readErr; err != nil {
+		return err
+	}
+	return ErrClientClosed
+}
+
+// Close tears the connection down; outstanding and future Do calls
+// fail. Idempotent.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	var err error
+	c.closeOne.Do(func() { err = c.c.Close() })
+	return err
+}

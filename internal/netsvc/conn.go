@@ -1,0 +1,295 @@
+package netsvc
+
+import (
+	"bufio"
+	"io"
+	"net" //lint:allow sockio per-connection framing of the real-TCP data plane
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memsnap/internal/proto"
+	"memsnap/internal/shard"
+)
+
+// maxIntern caps each connection's tenant/key string intern table.
+// Steady-state workloads reuse a bounded key set, so interning removes
+// the per-op []byte→string copies; a hostile peer churning unique keys
+// just falls back to plain copies once the table is full.
+const maxIntern = 1 << 16
+
+// slotInfo describes one in-flight request. Written by the reader when
+// the slot is acquired, read (by value) by the writer when the
+// response arrives; the slot index travels through the shard tag, so
+// each slot has exactly one owner at a time.
+type slotInfo struct {
+	id    uint64
+	kind  proto.Kind
+	start time.Duration // wall time the request was decoded
+}
+
+// conn is one client connection: a reader goroutine that decodes
+// frames and submits tagged shard ops, and a writer goroutine that
+// completes them out of order as responses arrive.
+//
+// Flow control: slots (capacity MaxInFlight) bounds the in-flight
+// table. The reader blocks acquiring a slot when the table is full —
+// it stops reading frames, and TCP pushes back on the client. Because
+// at most MaxInFlight requests are outstanding and every acquired slot
+// produces exactly one message on out (the shard contract: admission
+// means exactly one response; rejections are synthesized by the
+// reader), sends on out never block, so shard workers never stall on a
+// slow connection.
+type conn struct {
+	srv *Server
+	c   net.Conn
+
+	// out carries completions: shard worker responses and
+	// reader-synthesized rejections, multiplexed by slot tag.
+	out  chan shard.Response
+	free chan uint32
+	slot []slotInfo
+
+	// inflight counts acquired slots; the writer exits once the reader
+	// is done and it reaches zero.
+	inflight   atomic.Int64
+	readerDone chan struct{}
+
+	// ids tracks in-flight request ids for duplicate detection.
+	// Reader inserts, writer deletes.
+	idsMu sync.Mutex
+	ids   map[uint64]bool
+
+	// strs interns tenant/key strings (reader-owned).
+	strs map[string]string
+
+	closeReadOnce sync.Once
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	n := s.cfg.MaxInFlight
+	c := &conn{
+		srv:        s,
+		c:          nc,
+		out:        make(chan shard.Response, n),
+		free:       make(chan uint32, n),
+		slot:       make([]slotInfo, n),
+		readerDone: make(chan struct{}),
+		ids:        make(map[uint64]bool, n),
+		strs:       make(map[string]string),
+	}
+	for i := 0; i < n; i++ {
+		c.free <- uint32(i)
+	}
+	return c
+}
+
+// closeRead half-closes the connection for graceful drain: the reader
+// sees EOF and admits nothing new, while the write side stays open so
+// in-flight responses still reach the client.
+func (c *conn) closeRead() {
+	c.closeReadOnce.Do(func() {
+		if tc, ok := c.c.(*net.TCPConn); ok {
+			tc.CloseRead()
+			return
+		}
+		c.c.Close()
+	})
+}
+
+// readLoop decodes frames and submits them. It exits on EOF, read
+// error, or the first malformed frame (protocol errors are not
+// recoverable mid-stream: framing may be lost).
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer close(c.readerDone)
+	fr := proto.NewFrameReader(c.c, c.srv.cfg.MaxFrame)
+	var q proto.Request
+	for {
+		payload, err := fr.Next()
+		if err != nil {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				// A frame-level violation (oversized or zero-length
+				// prefix), as opposed to the peer just hanging up.
+				c.srv.st.badFrames.Add(1)
+			}
+			return
+		}
+		c.srv.st.bytesIn.Add(int64(4 + len(payload)))
+		if err := proto.DecodeRequest(payload, &q); err != nil {
+			c.srv.st.badFrames.Add(1)
+			return
+		}
+		// Bounded in-flight table: block here — not in the shard — when
+		// the pipeline is full. Responses draining on the writer side
+		// free slots and wake us.
+		s := <-c.free
+		c.idsMu.Lock()
+		dup := c.ids[q.ID]
+		if !dup {
+			c.ids[q.ID] = true
+		}
+		c.idsMu.Unlock()
+		if dup {
+			// Two in-flight requests with one id make completions
+			// ambiguous; treat it as a framing-level violation.
+			c.free <- s
+			c.srv.st.badFrames.Add(1)
+			return
+		}
+		c.srv.st.requests.Add(1)
+		c.slot[s] = slotInfo{id: q.ID, kind: q.Kind, start: wallNow()}
+		c.inflight.Add(1)
+		c.srv.st.inFlight.Add(1)
+
+		if q.Kind == proto.KindPing {
+			c.out <- shard.Response{Tag: uint64(s)}
+			continue
+		}
+		op := shard.Op{
+			Kind:   opKind(q.Kind),
+			Tenant: c.intern(q.Tenant),
+			Key:    c.intern(q.Key),
+			Key2:   c.intern(q.Key2),
+			Value:  q.Value,
+		}
+		// Non-blocking admission: a full shard queue becomes a
+		// RETRY_AFTER on the wire instead of a stalled read loop.
+		if err := c.srv.svc.TryDoTagged(op, uint64(s), c.out); err != nil {
+			c.out <- shard.Response{Tag: uint64(s), Err: err}
+		}
+	}
+}
+
+// writeLoop encodes completions, batching opportunistically: it blocks
+// for one response, drains whatever else is ready, then flushes once.
+// After a write error it keeps draining (freeing slots and stats) but
+// discards output, so shard workers and the reader never wedge on a
+// broken peer. It exits when the reader is done and the in-flight
+// table is empty, then closes the connection.
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	defer c.srv.untrack(c)
+	defer c.c.Close()
+	bw := bufio.NewWriterSize(c.c, 16<<10)
+	buf := make([]byte, 0, 64)
+	broken := false
+	done := c.readerDone
+	for done != nil || c.inflight.Load() > 0 {
+		select {
+		case r := <-c.out:
+			buf = c.complete(r, bw, buf, &broken)
+		drain:
+			for {
+				select {
+				case r := <-c.out:
+					buf = c.complete(r, bw, buf, &broken)
+				default:
+					break drain
+				}
+			}
+			if !broken {
+				if err := bw.Flush(); err != nil {
+					broken = true
+				}
+			}
+		case <-done:
+			done = nil
+		}
+	}
+	if !broken {
+		bw.Flush()
+	}
+}
+
+// complete turns one shard completion into a wire response, records
+// stats, and frees the slot. buf is the caller's reusable encode
+// buffer (returned possibly regrown).
+func (c *conn) complete(r shard.Response, bw *bufio.Writer, buf []byte, broken *bool) []byte {
+	s := uint32(r.Tag)
+	si := c.slot[s] // copy before freeing: the reader may reuse the slot
+	resp := proto.Response{
+		ID:     si.id,
+		Status: statusOf(r.Err),
+		Found:  r.Found,
+		Value:  r.Value,
+		Epoch:  uint64(r.Epoch),
+	}
+	if resp.Status == proto.StatusRetryAfter {
+		resp.RetryAfter = c.srv.cfg.RetryAfter
+		c.srv.st.retryAfter.Add(1)
+	}
+	c.srv.opLatency.Record(wallNow() - si.start)
+	c.idsMu.Lock()
+	delete(c.ids, si.id)
+	c.idsMu.Unlock()
+	c.srv.st.responses.Add(1)
+	c.srv.st.inFlight.Add(-1)
+	c.inflight.Add(-1)
+	c.free <- s
+	if *broken {
+		return buf
+	}
+	buf = proto.AppendResponse(buf[:0], &resp)
+	if _, err := bw.Write(buf); err != nil {
+		*broken = true
+		return buf
+	}
+	c.srv.st.bytesOut.Add(int64(len(buf)))
+	return buf
+}
+
+// intern converts a wire string (aliasing the frame buffer) into a
+// stable Go string, reusing prior copies while the table has room.
+func (c *conn) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := c.strs[string(b)]; ok { // no-copy map lookup
+		return s
+	}
+	s := string(b)
+	if len(c.strs) < maxIntern {
+		c.strs[s] = s
+	}
+	return s
+}
+
+// opKind maps a wire kind to the shard op kind. KindPing never reaches
+// the shard.
+func opKind(k proto.Kind) shard.OpKind {
+	switch k {
+	case proto.KindGet:
+		return shard.OpGet
+	case proto.KindPut:
+		return shard.OpPut
+	case proto.KindAdd:
+		return shard.OpAdd
+	case proto.KindDelete:
+		return shard.OpDelete
+	case proto.KindTransfer:
+		return shard.OpTransfer
+	}
+	return shard.OpGet // unreachable: DecodeRequest rejects unknown kinds
+}
+
+// statusOf maps a shard error to its wire status.
+func statusOf(err error) proto.Status {
+	switch err {
+	case nil:
+		return proto.StatusOK
+	case shard.ErrBackpressure:
+		return proto.StatusRetryAfter
+	case shard.ErrClosed:
+		return proto.StatusClosed
+	case shard.ErrKeyTooLong:
+		return proto.StatusKeyTooLong
+	case shard.ErrCrossShard:
+		return proto.StatusCrossShard
+	case shard.ErrShardFull:
+		return proto.StatusShardFull
+	case shard.ErrInsufficient:
+		return proto.StatusInsufficient
+	}
+	return proto.StatusInternal
+}

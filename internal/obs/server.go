@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net"
+	"net" //lint:allow sockio obs.Serve is the documented loopback observability boundary
 	"strings"
 	"sync"
 	"time"

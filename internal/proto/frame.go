@@ -1,0 +1,68 @@
+package proto
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// FrameReader reads length-prefixed frames from an io.Reader into one
+// reusable buffer. Next returns the payload of the next frame; the
+// returned slice aliases the internal buffer and is valid only until
+// the following Next call. The buffer grows at most to the configured
+// maximum, so a hostile length prefix cannot force a large
+// allocation: prefixes above the cap fail with ErrFrameTooLarge
+// before any buffer grows.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+	max int
+	// n counts payload+prefix bytes consumed from r (wire accounting
+	// for the server's bytes-in stat).
+	n int64
+}
+
+// NewFrameReader wraps r with a frame decoder capped at max payload
+// bytes (0 or negative: MaxFrame).
+func NewFrameReader(r io.Reader, max int) *FrameReader {
+	if max <= 0 {
+		max = MaxFrame
+	}
+	return &FrameReader{r: r, buf: make([]byte, 512), max: max}
+}
+
+// Next reads one frame and returns its payload. io.EOF is returned
+// only on a clean boundary (no partial frame read); a connection cut
+// mid-frame yields io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			fr.n += int64(len(hdr)) // partial; close enough for stats
+		}
+		return nil, err
+	}
+	fr.n += 4
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, ErrTruncated
+	}
+	if int64(n) > int64(fr.max) {
+		return nil, ErrFrameTooLarge
+	}
+	if int(n) > len(fr.buf) {
+		fr.buf = make([]byte, int(n))
+	}
+	payload := fr.buf[:n]
+	m, err := io.ReadFull(fr.r, payload)
+	fr.n += int64(m)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// BytesRead returns the total wire bytes consumed so far.
+func (fr *FrameReader) BytesRead() int64 { return fr.n }

@@ -1,0 +1,233 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{ID: 1, Kind: KindPing},
+		{ID: 0xdeadbeefcafe, Kind: KindGet, Tenant: []byte("t0"), Key: []byte("alpha")},
+		{ID: 2, Kind: KindPut, Tenant: []byte("tenant"), Key: []byte("k"), Value: 42},
+		{ID: 3, Kind: KindAdd, Tenant: []byte(""), Key: []byte("counter"), Value: ^uint64(0)},
+		{ID: 4, Kind: KindDelete, Tenant: []byte("t"), Key: []byte("gone")},
+		{ID: 5, Kind: KindTransfer, Tenant: []byte("t"), Key: []byte("from"), Key2: []byte("to"), Value: 7},
+	}
+	for _, want := range cases {
+		frame, err := AppendRequest(nil, &want)
+		if err != nil {
+			t.Fatalf("%v: %v", want, err)
+		}
+		var got Request
+		if err := DecodeRequest(frame[4:], &got); err != nil {
+			t.Fatalf("%v: decode: %v", want, err)
+		}
+		if got.ID != want.ID || got.Kind != want.Kind || got.Value != want.Value ||
+			!bytes.Equal(got.Tenant, want.Tenant) || !bytes.Equal(got.Key, want.Key) ||
+			!bytes.Equal(got.Key2, want.Key2) {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{ID: 1, Status: StatusOK},
+		{ID: 2, Status: StatusOK, Found: true, Value: 99, Epoch: 12},
+		{ID: 3, Status: StatusRetryAfter, RetryAfter: 1500 * time.Microsecond},
+		{ID: 4, Status: StatusInsufficient},
+		{ID: 5, Status: StatusClosed},
+	}
+	for _, want := range cases {
+		frame := AppendResponse(nil, &want)
+		var got Response
+		if err := DecodeResponse(frame[4:], &got); err != nil {
+			t.Fatalf("%+v: decode: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+// Zero-copy contract: decoded strings alias the frame buffer.
+func TestDecodeRequestAliasesFrame(t *testing.T) {
+	frame, err := AppendRequest(nil, &Request{ID: 9, Kind: KindPut, Tenant: []byte("ten"), Key: []byte("key"), Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Request
+	if err := DecodeRequest(frame[4:], &q); err != nil {
+		t.Fatal(err)
+	}
+	frame[4+reqFixedLen] = 'X' // first tenant byte
+	if string(q.Tenant) != "Xen" {
+		t.Errorf("Tenant does not alias frame: %q", q.Tenant)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	okReq, err := AppendRequest(nil, &Request{ID: 1, Kind: KindGet, Tenant: []byte("t"), Key: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	okResp := AppendResponse(nil, &Response{ID: 1, Status: StatusOK})
+
+	t.Run("truncated request", func(t *testing.T) {
+		for cut := 0; cut < len(okReq)-4; cut++ {
+			var q Request
+			if err := DecodeRequest(okReq[4:4+cut], &q); err == nil {
+				t.Errorf("cut=%d: decode accepted truncated frame", cut)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		var q Request
+		if err := DecodeRequest(append(append([]byte(nil), okReq[4:]...), 0), &q); !errors.Is(err, ErrTrailingBytes) {
+			t.Errorf("got %v, want ErrTrailingBytes", err)
+		}
+		var p Response
+		if err := DecodeResponse(append(append([]byte(nil), okResp[4:]...), 0), &p); !errors.Is(err, ErrTrailingBytes) {
+			t.Errorf("got %v, want ErrTrailingBytes", err)
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		bad := append([]byte(nil), okReq[4:]...)
+		bad[1] = byte(kindCount)
+		var q Request
+		if err := DecodeRequest(bad, &q); !errors.Is(err, ErrUnknownKind) {
+			t.Errorf("got %v, want ErrUnknownKind", err)
+		}
+	})
+	t.Run("unknown frame type", func(t *testing.T) {
+		bad := append([]byte(nil), okReq[4:]...)
+		bad[0] = 0x7f
+		var q Request
+		if err := DecodeRequest(bad, &q); !errors.Is(err, ErrUnknownFrame) {
+			t.Errorf("got %v, want ErrUnknownFrame", err)
+		}
+	})
+	t.Run("string lengths exceeding payload", func(t *testing.T) {
+		bad := append([]byte(nil), okReq[4:]...)
+		bad[10], bad[11] = 0x0f, 0xff // tenant len 4095 but payload is short
+		var q Request
+		if err := DecodeRequest(bad, &q); !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("oversize string refused at encode", func(t *testing.T) {
+		if _, err := AppendRequest(nil, &Request{Kind: KindGet, Key: bytes.Repeat([]byte("k"), MaxStringLen+1)}); !errors.Is(err, ErrStringTooLong) {
+			t.Errorf("got %v, want ErrStringTooLong", err)
+		}
+	})
+	t.Run("unknown status", func(t *testing.T) {
+		bad := append([]byte(nil), okResp[4:]...)
+		bad[1] = byte(statusCount)
+		var p Response
+		if err := DecodeResponse(bad, &p); !errors.Is(err, ErrUnknownStatus) {
+			t.Errorf("got %v, want ErrUnknownStatus", err)
+		}
+	})
+}
+
+func TestFrameReader(t *testing.T) {
+	var wire []byte
+	var err error
+	reqs := []Request{
+		{ID: 1, Kind: KindPut, Tenant: []byte("t"), Key: []byte("a"), Value: 10},
+		{ID: 2, Kind: KindGet, Tenant: []byte("t"), Key: []byte("a")},
+		{ID: 3, Kind: KindPing},
+	}
+	for i := range reqs {
+		wire, err = AppendRequest(wire, &reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(wire), 0)
+	for i := range reqs {
+		payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		var q Request
+		if err := DecodeRequest(payload, &q); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if q.ID != reqs[i].ID {
+			t.Errorf("frame %d: id %d want %d", i, q.ID, reqs[i].ID)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Errorf("after last frame: %v, want io.EOF", err)
+	}
+	if fr.BytesRead() != int64(len(wire)) {
+		t.Errorf("BytesRead = %d, want %d", fr.BytesRead(), len(wire))
+	}
+}
+
+func TestFrameReaderHostileInput(t *testing.T) {
+	t.Run("oversized length prefix refused without allocating", func(t *testing.T) {
+		fr := NewFrameReader(strings.NewReader("\xff\xff\xff\xff garbage"), 0)
+		if _, err := fr.Next(); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("got %v, want ErrFrameTooLarge", err)
+		}
+		if len(fr.buf) > MaxFrame {
+			t.Fatalf("buffer grew to %d on a refused frame", len(fr.buf))
+		}
+	})
+	t.Run("zero length prefix", func(t *testing.T) {
+		fr := NewFrameReader(strings.NewReader("\x00\x00\x00\x00"), 0)
+		if _, err := fr.Next(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("cut mid-frame", func(t *testing.T) {
+		frame, err := AppendRequest(nil, &Request{ID: 1, Kind: KindGet, Tenant: []byte("t"), Key: []byte("k")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr := NewFrameReader(bytes.NewReader(frame[:len(frame)-2]), 0)
+		if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("got %v, want io.ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("cut mid-prefix", func(t *testing.T) {
+		fr := NewFrameReader(strings.NewReader("\x00\x00"), 0)
+		if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("got %v, want io.ErrUnexpectedEOF", err)
+		}
+	})
+}
+
+// The reader's buffer must be reused across frames, not reallocated.
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	var wire []byte
+	var err error
+	for i := 0; i < 100; i++ {
+		wire, err = AppendRequest(wire, &Request{ID: uint64(i), Kind: KindPut, Tenant: []byte("t"), Key: []byte("key"), Value: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(wire), 0)
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	before := &fr.buf[0]
+	for {
+		if _, err := fr.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if &fr.buf[0] != before {
+		t.Error("frame buffer reallocated for same-size frames")
+	}
+}

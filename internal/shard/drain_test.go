@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDrainPipelinedExactlyOnce is the drain-ordering regression test:
+// many clients pipeline tagged ops onto shared response channels (the
+// network server's usage) while Close races them. The pinned contract:
+//
+//   - every ACCEPTED op (DoTagged/TryDoTagged returned nil) receives
+//     exactly one response, with its tag, and that response is its real
+//     outcome — never ErrClosed (an admitted op is applied, not
+//     retroactively rejected);
+//   - every REJECTED op (non-nil return) receives no response at all;
+//   - nothing is answered twice (duplicate tags on a channel fail).
+func TestDrainPipelinedExactlyOnce(t *testing.T) {
+	const (
+		clients = 6
+		perConn = 64
+		depth   = 16
+	)
+	for round := 0; round < 8; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round%d", round), func(t *testing.T) {
+			sys := newSystem(t, 2)
+			svc, err := New(sys, Config{Shards: 2, QueueDepth: 4, BatchSize: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var accepted, responded atomic.Int64
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					// One shared pipelined channel per client, like one
+					// network connection.
+					ch := make(chan Response, depth)
+					slots := make(chan struct{}, depth)
+					var ok int64
+					var collect sync.WaitGroup
+					collect.Add(1)
+					go func() {
+						defer collect.Done()
+						seen := make(map[uint64]bool)
+						for r := range ch {
+							if seen[r.Tag] {
+								t.Errorf("client %d: duplicate response for tag %d", c, r.Tag)
+							}
+							seen[r.Tag] = true
+							if r.Err == ErrClosed {
+								t.Errorf("client %d: accepted op %d rejected with ErrClosed after admission", c, r.Tag)
+							}
+							responded.Add(1)
+							<-slots
+						}
+					}()
+					for i := 0; i < perConn; i++ {
+						op := Op{Kind: OpPut, Tenant: fmt.Sprintf("t%d", c), Key: fmt.Sprintf("k%03d", i), Value: uint64(i)}
+						if i%3 == 0 {
+							op.Kind = OpGet
+						}
+						slots <- struct{}{}
+						var err error
+						if i%2 == 0 {
+							err = svc.DoTagged(op, uint64(i), ch)
+						} else {
+							err = svc.TryDoTagged(op, uint64(i), ch)
+						}
+						if err != nil {
+							// ErrClosed or ErrBackpressure at admission:
+							// no response may arrive for this op.
+							<-slots
+							continue
+						}
+						ok++
+					}
+					accepted.Add(ok)
+					// Wait for every accepted op's response, then close
+					// the channel so the collector exits. If a response
+					// is lost this blocks and the test times out.
+					for i := 0; i < depth; i++ {
+						slots <- struct{}{}
+					}
+					close(ch)
+					collect.Wait()
+				}(c)
+			}
+
+			// Race Close against the in-flight pipelines, at a slightly
+			// different point each round.
+			closeErr := make(chan error, 1)
+			go func() {
+				for i := 0; i < round*50; i++ {
+					// Busy spin to shift the close point between rounds.
+					_ = i
+				}
+				time.Sleep(time.Duration(round) * 200 * time.Microsecond)
+				closeErr <- svc.Close()
+			}()
+
+			wg.Wait()
+			if err := <-closeErr; err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if got, want := responded.Load(), accepted.Load(); got != want {
+				t.Fatalf("responses %d != accepted %d (lost or duplicated ack)", got, want)
+			}
+			// The defense-in-depth sweep in Close must have found empty
+			// queues: every admitted op was served by a live worker.
+			for _, sh := range svc.shards {
+				if n := len(sh.queue); n != 0 {
+					t.Errorf("shard %d: %d requests left in queue after Close", sh.id, n)
+				}
+			}
+		})
+	}
+}
+
+// TestDrainTaggedAfterClose: tagged submissions after Close fail at
+// admission with ErrClosed and deliver nothing on the channel.
+func TestDrainTaggedAfterClose(t *testing.T) {
+	sys := newSystem(t, 2)
+	svc, err := New(sys, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan Response, 4)
+	if err := svc.DoTagged(Op{Kind: OpPut, Tenant: "t", Key: "a", Value: 1}, 7, ch); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.Tag != 7 || r.Err != nil {
+		t.Fatalf("tagged response = %+v, want tag 7, nil err", r)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.DoTagged(Op{Kind: OpPut, Tenant: "t", Key: "b", Value: 1}, 8, ch); err != ErrClosed {
+		t.Fatalf("DoTagged after Close = %v, want ErrClosed", err)
+	}
+	if err := svc.TryDoTagged(Op{Kind: OpGet, Tenant: "t", Key: "a"}, 9, ch); err != ErrClosed {
+		t.Fatalf("TryDoTagged after Close = %v, want ErrClosed", err)
+	}
+	select {
+	case r := <-ch:
+		t.Fatalf("unexpected response %+v after rejected submissions", r)
+	default:
+	}
+}

@@ -92,6 +92,12 @@ type Op struct {
 
 // Response is the outcome of one Op.
 type Response struct {
+	// Tag echoes the caller-chosen correlation tag of a tagged
+	// submission (DoTagged/TryDoTagged); zero for the plain APIs.
+	// Pipelined callers multiplexing many ops onto one response
+	// channel use it to match completions, which arrive out of order
+	// across shards.
+	Tag uint64
 	// Value is the read value (OpGet), the post-increment value
 	// (OpAdd), the deleted value (OpDelete), or the shard value sum
 	// (internal sum probe).
@@ -210,12 +216,38 @@ type Service struct {
 // request is an Op plus its response channel. ack buffers a write's
 // apply-time response until its group commit is durable. at is the
 // worker-clock virtual time the request was enqueued (read atomically
-// from the client goroutine), feeding the queue-wait trace span.
+// from the client goroutine), feeding the queue-wait trace span. tag
+// is the caller's correlation tag, echoed in Response.Tag.
+//
+// Requests are pooled: every response path returns the struct through
+// putRequest immediately after the single send on resp, so the
+// steady-state serving path allocates no request structs. The
+// response channel is NOT pooled — for the plain APIs its ownership
+// passes to the caller; for tagged submissions it belongs to the
+// caller outright.
 type request struct {
 	op   Op
 	resp chan Response
 	ack  Response
 	at   time.Duration
+	tag  uint64
+}
+
+// requestPool recycles request structs across submissions.
+var requestPool = sync.Pool{New: func() any { return new(request) }}
+
+// getRequest returns a zeroed request carrying op, tag and resp.
+func getRequest(op Op, tag uint64, resp chan Response) *request {
+	r := requestPool.Get().(*request)
+	*r = request{op: op, resp: resp, tag: tag}
+	return r
+}
+
+// putRequest recycles r. Callers must not touch r afterwards; the
+// single permitted response send must already have happened.
+func putRequest(r *request) {
+	*r = request{}
+	requestPool.Put(r)
 }
 
 // RegionName returns the fixed region name for a shard. Followers use
@@ -392,11 +424,21 @@ func (s *Service) route(op Op) (*shard, error) {
 
 // submit enqueues r on sh under the submit lock. Blocking submits wait
 // for queue space but abort with ErrClosed when the service stops;
-// non-blocking submits fail fast with ErrBackpressure.
+// non-blocking submits fail fast with ErrBackpressure. On any error
+// the request was not enqueued, no response will be sent, and r is
+// recycled here — the caller must not touch it again.
+//
+// Drain ordering invariant (see Close): an enqueue can only happen
+// while the workers are still running, because Close flips the closed
+// flag under the exclusive submit lock *before* stopping them. Every
+// request that passes the closed-check below is therefore applied and
+// answered by a worker — admission implies exactly one response, and
+// an accepted write is always driven to durability.
 func (s *Service) submit(sh *shard, r *request, block bool) error {
 	s.submitMu.RLock()
 	defer s.submitMu.RUnlock()
 	if s.closed.Load() {
+		putRequest(r)
 		return ErrClosed
 	}
 	// Stamp the enqueue time for the queue-wait span. Cross-goroutine
@@ -408,6 +450,7 @@ func (s *Service) submit(sh *shard, r *request, block bool) error {
 		case sh.queue <- r:
 			return nil
 		case <-s.stop:
+			putRequest(r)
 			return ErrClosed
 		}
 	}
@@ -417,6 +460,7 @@ func (s *Service) submit(sh *shard, r *request, block bool) error {
 		return nil
 	default:
 		sh.rejected.Add(1)
+		putRequest(r)
 		return ErrBackpressure
 	}
 }
@@ -429,11 +473,11 @@ func (s *Service) DoAsync(op Op) (<-chan Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &request{op: op, resp: make(chan Response, 1)}
-	if err := s.submit(sh, r, true); err != nil {
+	ch := make(chan Response, 1)
+	if err := s.submit(sh, getRequest(op, 0, ch), true); err != nil {
 		return nil, err
 	}
-	return r.resp, nil
+	return ch, nil
 }
 
 // TryDoAsync is DoAsync with admission control: when the shard queue
@@ -443,11 +487,42 @@ func (s *Service) TryDoAsync(op Op) (<-chan Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &request{op: op, resp: make(chan Response, 1)}
-	if err := s.submit(sh, r, false); err != nil {
+	ch := make(chan Response, 1)
+	if err := s.submit(sh, getRequest(op, 0, ch), false); err != nil {
 		return nil, err
 	}
-	return r.resp, nil
+	return ch, nil
+}
+
+// DoTagged submits op for pipelined completion: the response —
+// carrying tag in Response.Tag — is delivered on the caller-owned
+// resp channel, immediately after apply for reads and after durable
+// group commit for writes. Many in-flight ops may share one channel;
+// completions arrive out of order across shards. It blocks while the
+// target shard's queue is full.
+//
+// Contract: the worker sends exactly one Response per accepted op
+// (nil return) and sends without waiting — resp must have capacity
+// for every response the caller can have outstanding, or shard
+// workers stall. A non-nil return means no response will arrive.
+func (s *Service) DoTagged(op Op, tag uint64, resp chan Response) error {
+	sh, err := s.route(op)
+	if err != nil {
+		return err
+	}
+	return s.submit(sh, getRequest(op, tag, resp), true)
+}
+
+// TryDoTagged is DoTagged with admission control: when the shard
+// queue is full it rejects the op with ErrBackpressure instead of
+// blocking (the network server surfaces this as a RETRY_AFTER status
+// rather than stalling its read loop).
+func (s *Service) TryDoTagged(op Op, tag uint64, resp chan Response) error {
+	sh, err := s.route(op)
+	if err != nil {
+		return err
+	}
+	return s.submit(sh, getRequest(op, tag, resp), false)
 }
 
 // Do submits op and waits for its response.
@@ -500,13 +575,15 @@ func (s *Service) Transfer(tenant, from, to string, amount uint64) error {
 }
 
 // probe submits an internal read-only op to one shard and waits for
-// its response, serialized with in-flight applies.
+// its response, serialized with in-flight applies. The channel is
+// captured before submit: once enqueued, the pooled request belongs
+// to the worker.
 func (s *Service) probe(sh *shard, kind OpKind) (Response, error) {
-	r := &request{op: Op{Kind: kind}, resp: make(chan Response, 1)}
-	if err := s.submit(sh, r, true); err != nil {
+	ch := make(chan Response, 1)
+	if err := s.submit(sh, getRequest(Op{Kind: kind}, 0, ch), true); err != nil {
 		return Response{}, err
 	}
-	resp := <-r.resp
+	resp := <-ch
 	if resp.Err != nil {
 		return Response{}, resp.Err
 	}
@@ -544,11 +621,22 @@ func (s *Service) TotalValueSum() (uint64, error) {
 // Close drains every shard, group-commits any buffered writes
 // synchronously, and stops the workers. It is idempotent (subsequent
 // calls return nil immediately) and safe to call concurrently with
-// in-flight submissions and after a simulated crash (CutPower): the
-// final drain runs under the exclusive submit lock, so every racing
-// submission either lands before the drain and receives ErrClosed, or
-// observes the closed flag and fails with ErrClosed — no request is
-// ever silently lost.
+// in-flight submissions and after a simulated crash (CutPower).
+//
+// Drain ordering: Close first flips the closed flag under the
+// EXCLUSIVE submit lock, while the workers are still running, and
+// only then stops them. The exclusive acquisition waits out every
+// submission already past its closed-check — those enqueues land
+// while workers are alive and are fully applied (writes driven to
+// durable group commits) by the workers' shutdown drain; every later
+// submission observes the flag and fails with ErrClosed before
+// enqueueing. The result is the pipelined-shutdown contract the
+// network server depends on: every admitted request is answered
+// exactly once with its real outcome — an accepted op is never
+// retroactively rejected, no ack is lost, and nothing is answered
+// twice. A final queue sweep remains as defense in depth but is
+// unreachable under this ordering (the drain regression test pins
+// the contract).
 //
 // Note that after a CutPower the workers' final synchronous commits
 // write into the post-cut array; a crash test that wants the torn
@@ -558,22 +646,29 @@ func (s *Service) TotalValueSum() (uint64, error) {
 func (s *Service) Close() error {
 	s.closeMu.Lock()
 	defer s.closeMu.Unlock()
-	if s.closed.Swap(true) {
+	if s.closed.Load() {
 		return nil
 	}
+	// Stop admissions first: after this unlock no request can enter a
+	// queue, and everything already admitted is in a queue a live
+	// worker will drain.
+	s.submitMu.Lock()
+	s.closed.Store(true)
+	s.submitMu.Unlock()
+	// Now stop the workers; their shutdown path drains and commits
+	// every queued request.
 	close(s.stop)
 	s.wg.Wait()
-	// Reject any request that slipped into a queue after the workers
-	// drained it. The exclusive lock waits out submissions that passed
-	// the closed-check before it flipped; later ones fail the check.
-	s.submitMu.Lock()
-	defer s.submitMu.Unlock()
+	// Defense in depth: under the ordering above the queues are empty
+	// here. Sweep anyway so a future regression fails a request loudly
+	// (exactly once) instead of hanging its caller.
 	for _, sh := range s.shards {
 	drain:
 		for {
 			select {
 			case r := <-sh.queue:
-				r.resp <- Response{Err: ErrClosed}
+				r.resp <- Response{Tag: r.tag, Err: ErrClosed}
+				putRequest(r)
 			default:
 				break drain
 			}

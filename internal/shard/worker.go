@@ -159,11 +159,14 @@ func (sh *shard) apply(batch []*request) *pendingBatch {
 	var reads, writeOps int64
 	for _, r := range batch {
 		if resp, isWrite := sh.applyOne(r.op); isWrite {
+			resp.Tag = r.tag
 			r.ack = resp // completed by retire once durable
 			writes = append(writes, r)
 			writeOps++
 		} else {
+			resp.Tag = r.tag
 			r.resp <- resp
+			putRequest(r)
 			reads++
 		}
 	}
@@ -188,7 +191,8 @@ func (sh *shard) apply(batch []*request) *pendingBatch {
 	epoch, err := sh.ctx.Persist(sh.region, core.MSAsync)
 	if err != nil {
 		for _, r := range writes {
-			r.resp <- Response{Err: err}
+			r.resp <- Response{Tag: r.tag, Err: err}
+			putRequest(r)
 		}
 		return nil
 	}
@@ -327,6 +331,7 @@ func (sh *shard) retire(b *pendingBatch) {
 			r.ack.Err = shipErr
 		}
 		r.resp <- r.ack
+		putRequest(r)
 	}
 }
 

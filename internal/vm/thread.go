@@ -100,9 +100,22 @@ func (t *Thread) translate(addr uint64, write bool) *mem.Page {
 	as := t.as
 	as.mu.Lock()
 	defer as.mu.Unlock()
+	return t.translateLocked(addr, write)
+}
+
+// translateLocked is the fault path, called with as.mu held. It
+// deliberately does not consult the TLB: a concurrent checkpoint
+// write-protects PTEs under as.mu but shoots stale TLB entries down
+// only after releasing it, so a cached writable translation may be
+// stale — the PTE is the authority here.
+func (t *Thread) translateLocked(addr uint64, write bool) *mem.Page {
+	vpn := addr / PageSize
+	cpu := t.as.tlbs.CPU(t.cpu)
+	as := t.as
 
 	m := as.findMappingLocked(addr)
 	if m == nil {
+		//lint:allow hotalloc fatal-path formatting on a segfault
 		panic(fmt.Sprintf("vm: segfault at %#x (no mapping)", addr))
 	}
 	pte := as.table.Lookup(vpn)
@@ -137,6 +150,7 @@ func (t *Thread) translate(addr uint64, write bool) *mem.Page {
 
 	if write && !pte.Writable {
 		if !m.Tracked {
+			//lint:allow hotalloc fatal-path formatting on a protection violation
 			panic(fmt.Sprintf("vm: write to read-only mapping %q at %#x", m.Name, addr))
 		}
 		t.writeFaultLocked(m, vpn, pte)
@@ -200,22 +214,42 @@ func (t *Thread) writeFaultLocked(m *Mapping, vpn uint64, pte *pagetable.PTE) {
 
 // Write copies data into the address space at addr, faulting as
 // needed. The memcpy cost is charged to the thread clock.
+//
+// Each per-page translate+copy step runs under the address-space
+// lock, making it atomic relative to a concurrent checkpoint's
+// MarkCheckpointPages + protection reset — which takes this lock even
+// from another address space, via resetOtherMappings. The copy either
+// completes before the page is write-protected (and is therefore
+// ordered before the checkpoint's snapshot read), or the translation
+// observes the read-only PTE, faults, and the copy proceeds on the
+// COW duplicate, leaving the snapshotted frame quiescent. The old
+// translate-then-copy without the lock spanning both raced a
+// cross-address-space Persist: the page could be marked and
+// snapshotted between the fault and the copy (TOCTOU), tearing the
+// captured frame.
+//
+//memsnap:hotpath
 func (t *Thread) Write(addr uint64, data []byte) {
-	t.clock.Advance(t.as.costs.MemcpyCost(len(data)))
+	as := t.as
+	t.clock.Advance(as.costs.MemcpyCost(len(data)))
 	for len(data) > 0 {
-		pg := t.translate(addr, true)
 		off := addr % PageSize
 		n := PageSize - off
 		if n > uint64(len(data)) {
 			n = uint64(len(data))
 		}
-		copy(t.as.phys.Data(pg.Frame())[off:], data[:n])
+		as.mu.Lock()
+		pg := t.translateLocked(addr, true)
+		copy(as.phys.Data(pg.Frame())[off:], data[:n])
+		as.mu.Unlock()
 		addr += n
 		data = data[n:]
 	}
 }
 
 // Read copies bytes out of the address space into buf.
+//
+//memsnap:hotpath
 func (t *Thread) Read(addr uint64, buf []byte) {
 	t.clock.Advance(t.as.costs.MemcpyCost(len(buf)))
 	for len(buf) > 0 {

@@ -160,6 +160,18 @@ func (s *System) ShootdownPages(clk *sim.Clock, vpns []uint64) {
 	}
 }
 
+// ShootdownPage is the single-page ShootdownPages: same IPI cost,
+// no vpns slice — the allocation-free variant for per-page callers on
+// the persist path.
+func (s *System) ShootdownPage(clk *sim.Clock, vpn uint64) {
+	if clk != nil {
+		clk.Advance(s.costs.TLBShootdownPerPage)
+	}
+	for _, t := range s.cpus {
+		t.InvalidatePage(vpn)
+	}
+}
+
 // FullFlush invalidates every TLB in the system for a fixed cost.
 func (s *System) FullFlush(clk *sim.Clock) {
 	if clk != nil {

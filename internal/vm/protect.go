@@ -42,7 +42,7 @@ func resetOtherMappings(clk *sim.Clock, as *AddressSpace, pg *mem.Page, costs *s
 			pte.Writable = false
 		}
 		other.mu.Unlock()
-		other.tlbs.ShootdownPages(clk, []uint64{rm.VPN})
+		other.tlbs.ShootdownPage(clk, rm.VPN)
 	}
 }
 

@@ -51,7 +51,10 @@ func (a *Array) NumDevices() int { return len(a.devices) }
 // logical IO are issued as a single command per device: the stripe
 // controller coalesces them, so each device pays one base latency.
 func (a *Array) Write(at time.Duration, offset int64, data []byte) time.Duration {
-	return a.WriteV(at, []Extent{{Offset: offset, Data: data}})
+	// A fixed-size array keeps the one-extent vector off the heap on
+	// the per-commit path.
+	ext := [1]Extent{{Offset: offset, Data: data}}
+	return a.WriteV(at, ext[:])
 }
 
 // WriteV issues a vectored write of several extents as one logical
@@ -118,9 +121,11 @@ var writePlans sync.Pool
 func getWritePlan(devices int) *writePlan {
 	p, _ := writePlans.Get().(*writePlan)
 	if p == nil {
+		//lint:allow hotalloc sync.Pool miss; plans recycle in steady state
 		p = &writePlan{}
 	}
 	if cap(p.perDev) < devices {
+		//lint:allow hotalloc plan growth to stripe width, amortized across reuse
 		p.perDev = make([]devIO, devices)
 	}
 	p.perDev = p.perDev[:devices]
@@ -139,7 +144,10 @@ func putWritePlan(p *writePlan) {
 	writePlans.Put(p)
 }
 
-// submitWriteV applies several segments as one device command.
+// submitWriteV applies several segments as one device command. Undo
+// buffers it acquires are parked in d.inflight until released.
+//
+//memsnap:owns
 func (d *Device) submitWriteV(at time.Duration, segs []Extent, total int) time.Duration {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -190,7 +198,16 @@ func (a *Array) Read(at time.Duration, offset int64, buf []byte) time.Duration {
 }
 
 // CutPower tears all devices' in-flight writes at virtual time at.
+// The cut is clamped forward to the highest undo-reclaim floor across
+// the devices (see Device.CutPower) and the clamped instant is applied
+// to every device uniformly, so the whole array crashes at one
+// consistent virtual time.
 func (a *Array) CutPower(at time.Duration, rng *sim.RNG) {
+	for _, d := range a.devices {
+		if f := d.GCFloor(); f > at {
+			at = f
+		}
+	}
 	for _, d := range a.devices {
 		d.CutPower(at, rng)
 	}

@@ -37,7 +37,10 @@ var (
 )
 
 // getOldBuf returns an n-byte scratch buffer plus its pool handle
-// (nil when n falls outside the pooled size classes).
+// (nil when n falls outside the pooled size classes); the caller
+// Releases the handle when the undo data is no longer needed.
+//
+//memsnap:owns
 func getOldBuf(n int) (*pool.Page, []byte) {
 	switch {
 	case n <= 512:
@@ -47,6 +50,7 @@ func getOldBuf(n int) (*pool.Page, []byte) {
 		pg := oldBufBlock.Get()
 		return pg, pg.Data[:n]
 	}
+	//lint:allow hotalloc oversize old-data reads bypass the sector/block pools; rare
 	return nil, make([]byte, n)
 }
 
@@ -58,6 +62,10 @@ type Device struct {
 	data     *sparseBuf
 	nextFree time.Duration
 	inflight []inflightWrite
+	// gcFloor is the highest horizon gcInflightLocked has reclaimed
+	// undo history up to: state before it cannot be reconstructed, so
+	// CutPower clamps earlier cut times forward to it.
+	gcFloor time.Duration
 
 	writes       int64
 	reads        int64
@@ -92,6 +100,7 @@ func (d *Device) Capacity() int64 {
 
 func (d *Device) checkRange(offset int64, n int) {
 	if offset < 0 || offset+int64(n) > d.data.capacity {
+		//lint:allow hotalloc fatal-path formatting on an out-of-range IO
 		panic(fmt.Sprintf("disk: IO out of range: off=%d len=%d cap=%d", offset, n, d.data.capacity))
 	}
 }
@@ -99,7 +108,10 @@ func (d *Device) checkRange(offset int64, n int) {
 // SubmitWrite issues a write at virtual time at and returns its
 // completion time. Data lands in the backing store immediately but is
 // only durable once the returned completion time has passed relative
-// to any later CutPower.
+// to any later CutPower. The undo buffer it acquires is parked in
+// d.inflight until gcInflightLocked or CutPower releases it.
+//
+//memsnap:owns
 func (d *Device) SubmitWrite(at time.Duration, offset int64, data []byte) time.Duration {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -159,6 +171,9 @@ func (d *Device) gcInflightLocked(at time.Duration) {
 			w.buf.Release()
 		}
 	}
+	if len(kept) < len(d.inflight) && at > d.gcFloor {
+		d.gcFloor = at
+	}
 	// Zero the dropped tail so the backing array does not retain
 	// released buffers.
 	clear(d.inflight[len(kept):])
@@ -171,9 +186,20 @@ func (d *Device) gcInflightLocked(at time.Duration) {
 // Sectors themselves are never torn (disks guarantee sector
 // atomicity). The in-flight list is cleared; the device is then in its
 // post-crash state.
+//
+// A cut earlier than undo history the device has already reclaimed
+// (gcInflightLocked finalizes writes behind the latest submission
+// times) is clamped forward to the reclaim floor: the device cannot
+// reconstruct state before it. Callers cutting an Array should go
+// through Array.CutPower, which applies one uniform clamped instant
+// across all devices — per-device clamping would crash each device at
+// a different virtual time and tear cross-device consistency.
 func (d *Device) CutPower(at time.Duration, rng *sim.RNG) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if at < d.gcFloor {
+		at = d.gcFloor
+	}
 	sector := d.costs.DiskSectorSize
 	// Roll back newest-first so overlapping in-flight writes resolve
 	// to the oldest surviving contents for rolled-back sectors.
@@ -200,6 +226,15 @@ func (d *Device) CutPower(at time.Duration, rng *sim.RNG) {
 	}
 	d.inflight = nil
 	d.nextFree = 0
+}
+
+// GCFloor reports the time CutPower would clamp an earlier cut
+// forward to: the highest horizon the device has reclaimed undo
+// history up to (zero while all history is still held).
+func (d *Device) GCFloor() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gcFloor
 }
 
 // PeekAt copies device contents without charging any cost or touching

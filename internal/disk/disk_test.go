@@ -213,3 +213,63 @@ func TestEmptyWriteV(t *testing.T) {
 		t.Fatalf("empty WriteV advanced time: %v", done)
 	}
 }
+
+// TestCutPowerClampsToGCFloorAcrossArray pins the undo-reclaim clamp:
+// once a device has GC'd its in-flight undo history past some horizon,
+// a later CutPower cannot rewind behind it — and the whole array must
+// crash at ONE clamped instant. Before the clamp, each device cut at
+// its own effective time: a device whose GC horizon had advanced kept
+// late writes while a sibling rolled back earlier ones, so recovery
+// saw a commit record whose data blocks were gone (the flaky
+// power-cut integration failure).
+func TestCutPowerClampsToGCFloorAcrossArray(t *testing.T) {
+	m := costs()
+	a := NewArray(m, 2, 1<<30)
+	stripe := int64(m.StripeSize)
+
+	// Device 0: enough spaced-out writes that gcInflightLocked fires
+	// and reclaims every prior write's undo buffer. Submissions are
+	// 1s apart, far beyond per-write latency, so write i completes
+	// before submit i+1 and the GC at the last write finalizes all
+	// earlier ones.
+	for i := 0; i < 65; i++ {
+		a.devices[0].SubmitWrite(time.Duration(i)*time.Second, 0, []byte{byte(i + 1)})
+	}
+	if f := a.devices[0].GCFloor(); f == 0 {
+		t.Fatal("GC never fired on device 0; the scenario needs a reclaimed horizon")
+	}
+
+	// Device 1: one write submitted just before the intended cut,
+	// completing after it (base latency alone spans the 1µs gap) but
+	// well before device 0's reclaimed horizon.
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	done := a.devices[1].SubmitWrite(1500*time.Millisecond, stripe, payload)
+	cut := 1500*time.Millisecond + time.Microsecond
+	if done <= cut {
+		t.Fatalf("scenario broken: device-1 write completes at %v, before the %v cut", done, cut)
+	}
+	if floor := a.devices[0].GCFloor(); done >= floor {
+		t.Fatalf("scenario broken: device-1 write completes at %v, after the %v floor", done, floor)
+	}
+
+	// Cut at just past the device-1 submit. Device 0 already
+	// reclaimed history up to ~63s, so its writes survive regardless;
+	// a consistent single-instant crash therefore must also keep
+	// device 1's earlier-completing write instead of rolling it back.
+	a.CutPower(cut, sim.NewRNG(1))
+
+	got := make([]byte, 8)
+	a.devices[1].PeekAt(stripe, got)
+	if got[0] != 0xAB {
+		t.Fatalf("device-1 write rolled back (got %#x): devices crashed at divergent instants", got[0])
+	}
+	// At the clamped instant (the ~63s floor) device 0's write 63
+	// straddles the cut (tears by coin flip between patterns 63 and
+	// 64) and write 64, submitted after it, always rolls back — but
+	// everything the GC finalized must still be on the platter.
+	var d0 [1]byte
+	a.devices[0].PeekAt(0, d0[:])
+	if d0[0] != 63 && d0[0] != 64 {
+		t.Fatalf("device-0 state %d inconsistent with a crash at the reclaim floor", d0[0])
+	}
+}

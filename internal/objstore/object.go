@@ -51,6 +51,7 @@ func (sc *commitScratch) nodeBuf() []byte {
 		sc.nused++
 		return b
 	}
+	//lint:allow hotalloc scratch growth to the commit's node count, reused across commits
 	b := make([]byte, BlockSize)
 	sc.nodeBufs = append(sc.nodeBufs, b)
 	sc.nused++
@@ -97,9 +98,11 @@ func (o *Object) Commit(at time.Duration, writes []BlockWrite) (Epoch, time.Dura
 	}
 	for _, w := range writes {
 		if w.Index < 0 || w.Index >= o.maxBlocks {
+			//lint:allow hotalloc caller-bug error path
 			return 0, at, fmt.Errorf("objstore: block %d out of range for %q (max %d)", w.Index, o.name, o.maxBlocks)
 		}
 		if len(w.Data) > BlockSize {
+			//lint:allow hotalloc caller-bug error path
 			return 0, at, fmt.Errorf("objstore: block write of %d bytes", len(w.Data))
 		}
 	}
@@ -122,8 +125,11 @@ func (o *Object) Commit(at time.Duration, writes []BlockWrite) (Epoch, time.Dura
 		}
 		data := w.Data
 		if len(data) < BlockSize {
-			padded := make([]byte, BlockSize)
+			// Pad short writes in a recycled scratch block (nodeBuf
+			// buffers are dirty: clear the tail explicitly).
+			padded := sc.nodeBuf()
 			copy(padded, data)
+			clear(padded[len(data):])
 			data = padded
 		}
 		sc.extents = append(sc.extents, disk.Extent{Offset: addr, Data: data})
@@ -152,6 +158,7 @@ func (o *Object) Commit(at time.Duration, writes []BlockWrite) (Epoch, time.Dura
 		Levels:   int64(o.tree.levels),
 	}
 	if sc.recBuf == nil {
+		//lint:allow hotalloc one-time lazy init of the commit-record sector
 		sc.recBuf = make([]byte, sectorSize)
 	}
 	rec.marshalInto(sc.recBuf)
@@ -200,6 +207,7 @@ func (o *Object) serializeNode(at time.Duration, n *node, levelsLeft int) (int64
 // was never written) and returns the completion time.
 func (o *Object) ReadBlock(at time.Duration, idx int64, dst []byte) (time.Duration, error) {
 	if idx < 0 || idx >= o.maxBlocks {
+		//lint:allow hotalloc caller-bug error path
 		return at, fmt.Errorf("objstore: read block %d out of range for %q", idx, o.name)
 	}
 	o.mu.Lock()

@@ -391,10 +391,20 @@ func (s *Service) ShardOf(tenant, key string) int {
 	return int((fnv1a(tenant, key) >> 48) % uint64(len(s.shards)))
 }
 
+// checkKeyLen validates the composed length of (tenant, key) without
+// building the key — the allocation-free check for routing/validation
+// paths that discard the bytes.
+func checkKeyLen(tenant, key string) error {
+	if len(tenant)+1+len(key) > MaxKeyLen {
+		return ErrKeyTooLong
+	}
+	return nil
+}
+
 // composeKey builds the region-resident key bytes for (tenant, key).
 func composeKey(tenant, key string) ([]byte, error) {
-	if len(tenant)+1+len(key) > MaxKeyLen {
-		return nil, ErrKeyTooLong
+	if err := checkKeyLen(tenant, key); err != nil {
+		return nil, err
 	}
 	b := make([]byte, 0, len(tenant)+1+len(key))
 	b = append(b, tenant...)
@@ -406,13 +416,13 @@ func composeKey(tenant, key string) ([]byte, error) {
 // route validates op and picks its shard.
 func (s *Service) route(op Op) (*shard, error) {
 	if op.Kind != opSum {
-		if _, err := composeKey(op.Tenant, op.Key); err != nil {
+		if err := checkKeyLen(op.Tenant, op.Key); err != nil {
 			return nil, err
 		}
 	}
 	sh := s.shards[s.ShardOf(op.Tenant, op.Key)]
 	if op.Kind == OpTransfer {
-		if _, err := composeKey(op.Tenant, op.Key2); err != nil {
+		if err := checkKeyLen(op.Tenant, op.Key2); err != nil {
 			return nil, err
 		}
 		if s.ShardOf(op.Tenant, op.Key2) != sh.id {

@@ -3,17 +3,21 @@
 //
 // Usage:
 //
-//	memsnap-lint [-list] [pattern ...]
+//	memsnap-lint [-list] [-json] [pattern ...]
 //
 // Patterns are import-path or directory prefixes relative to the
 // module root ("./..." or no arguments means the whole module;
 // "./internal/shard" or "internal/shard/..." restricts to a subtree).
+// With -json, diagnostics are written to stdout as a JSON array of
+// {file, line, col, rule, message} objects (empty array when clean)
+// for machine consumption; the exit status still reflects violations.
 // The tool has zero third-party dependencies and needs no network:
 // module packages are type-checked from the repo tree, the standard
 // library from GOROOT source.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +30,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	rules := flag.String("rules", "", "comma-separated subset of analyzers to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: memsnap-lint [-list] [-rules a,b] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: memsnap-lint [-list] [-rules a,b] [-json] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,12 +77,50 @@ func main() {
 	pkgs = filterPackages(pkgs, loader.Module, root, flag.Args())
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		writeJSON(root, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "memsnap-lint: %d violation(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape (-json).
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// writeJSON emits diagnostics as a JSON array on stdout, with file
+// paths relative to the module root so reports are stable across
+// checkouts. An empty run prints "[]", never "null".
+func writeJSON(root string, diags []lint.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		out = append(out, jsonDiag{
+			File:    file,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatalf("encoding JSON: %v", err)
 	}
 }
 

@@ -249,8 +249,15 @@ func (ctx *Context) DirtyPages() int { return ctx.th.DirtyLen() }
 // The returned epoch identifies the uCheckpoint for Wait. When r is
 // nil and several regions were dirty, the epoch of the last committed
 // region is returned and Wait(nil, epoch) waits for all of them.
+//
+// Capture mode moves pooled pages into the CapturedCommits it
+// appends to ctx.captured; the commit holder releases them.
+//
+//memsnap:hotpath
+//memsnap:owns
 func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 	if flags&MSSync != 0 && flags&MSAsync != 0 {
+		//lint:allow hotalloc caller-bug error path, never taken in steady state
 		return 0, fmt.Errorf("core: MSSync and MSAsync are mutually exclusive")
 	}
 	clk := ctx.th.Clock()
@@ -320,6 +327,7 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 			reg := proc.regionByMapping(rec.Mapping)
 			if reg == nil {
 				ctx.releaseHold(hold)
+				//lint:allow hotalloc caller-bug error path, never taken in steady state
 				return 0, fmt.Errorf("core: dirty page in non-region mapping %q", rec.Mapping.Name)
 			}
 			if nrw < len(ctx.rws) {

@@ -45,6 +45,7 @@ func (b *sparseBuf) writeAt(off int64, src []byte) {
 		}
 		chunk := b.chunks[ci]
 		if chunk == nil {
+			//lint:allow hotalloc first-touch chunk materialization, once per chunk for the device lifetime
 			chunk = make([]byte, sparseChunk)
 			b.chunks[ci] = chunk
 		}

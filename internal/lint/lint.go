@@ -81,7 +81,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one checkable design rule.
+// Analyzer is one checkable design rule. Exactly one of Run and
+// RunProgram is set: Run analyzes one package at a time, RunProgram
+// analyzes the whole loaded program at once (shared call graph,
+// cross-package annotations).
 type Analyzer struct {
 	// Name is the rule name used in diagnostics and //lint:allow.
 	Name string
@@ -89,6 +92,8 @@ type Analyzer struct {
 	Doc string
 	// Run reports violations found in pass.Pkg.
 	Run func(pass *Pass)
+	// RunProgram reports violations found anywhere in pass.Prog.
+	RunProgram func(pass *ProgramPass)
 }
 
 // Analyzers returns the full suite in stable order.
@@ -99,35 +104,58 @@ func Analyzers() []*Analyzer {
 		ClockCapture,
 		FaultPath,
 		SockIO,
+		HotAlloc,
+		PoolOwn,
 	}
 }
 
 // Run applies the analyzers to every package and returns surviving
 // diagnostics (suppressed ones removed, deduplicated, sorted by
-// position).
+// position). Per-package analyzers run over each package; program
+// analyzers run once over the whole package set, with the same
+// //lint:allow suppression semantics.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	allow := map[lineKey]map[string]bool{}
 	for _, pkg := range pkgs {
-		allow := allowedLines(pkg)
-		seen := map[string]bool{}
-		for _, a := range analyzers {
-			pass := &Pass{
-				Pkg:  pkg,
-				rule: a.Name,
-				report: func(d Diagnostic) {
-					if allow[lineKey{d.Pos.Filename, d.Pos.Line}][d.Rule] {
-						return
-					}
-					key := fmt.Sprintf("%s|%s|%s", d.Pos, d.Rule, d.Message)
-					if seen[key] {
-						return
-					}
-					seen[key] = true
-					diags = append(diags, d)
-				},
+		for k, rules := range allowedLines(pkg) {
+			if allow[k] == nil {
+				allow[k] = map[string]bool{}
 			}
-			a.Run(pass)
+			for r := range rules {
+				allow[k][r] = true
+			}
 		}
+	}
+	seen := map[string]bool{}
+	report := func(d Diagnostic) {
+		if allow[lineKey{d.Pos.Filename, d.Pos.Line}][d.Rule] {
+			return
+		}
+		key := fmt.Sprintf("%s|%s|%s", d.Pos, d.Rule, d.Message)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		diags = append(diags, d)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, rule: a.Name, report: report})
+		}
+	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(pkgs)
+		}
+		a.RunProgram(&ProgramPass{Prog: prog, rule: a.Name, report: report})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -185,15 +185,18 @@ var b = 2 //lint:allow rulethree
 func TestAnalyzerDocs(t *testing.T) {
 	seen := map[string]bool{}
 	for _, a := range Analyzers() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v missing name, doc or run", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %q must set exactly one of Run and RunProgram", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
 		}
 		seen[a.Name] = true
 	}
-	for _, want := range []string{"walltime", "globalrand", "clockcapture", "faultpath", "sockio"} {
+	for _, want := range []string{"walltime", "globalrand", "clockcapture", "faultpath", "sockio", "hotalloc", "poolown"} {
 		if !seen[want] {
 			t.Errorf("suite is missing the %s analyzer", want)
 		}

@@ -1,0 +1,162 @@
+// Fixture for the hotalloc analyzer: functions annotated
+// //memsnap:hotpath (and everything they transitively call, interface
+// calls resolved by CHA) must be free of allocation sites;
+// //memsnap:coldpath prunes the traversal, //lint:allow suppresses a
+// site.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+var (
+	sinkBytes []byte
+	sinkInt   int
+)
+
+type entry struct{ k, v int }
+
+// step is a clean hot leaf.
+func step(x int) int { return x + 1 }
+
+// HotClean exercises the allowed idioms: calls to clean leaves,
+// appends into caller-owned scratch (amortized, no fresh backing),
+// basic-type conversions.
+//
+//memsnap:hotpath
+func HotClean(xs []int, scratch []byte) int {
+	n := 0
+	for _, x := range xs {
+		n += step(x)
+	}
+	scratch = append(scratch, byte(n))
+	sinkBytes = scratch
+	return n
+}
+
+// HotDirect allocates in its own body.
+//
+//memsnap:hotpath
+func HotDirect(k int) {
+	m := map[int]int{} // want `map literal allocates`
+	m[k] = k
+	s := []int{k} // want `slice literal allocates`
+	sinkInt = s[0]
+	p := &entry{k: k} // want `&composite literal allocates`
+	sinkInt = p.v
+	b := make([]byte, k) // want `make allocates`
+	sinkBytes = b
+}
+
+// helper is itself clean but reaches an allocating leaf.
+func helper(k int) []byte { return leaf(k) }
+
+func leaf(k int) []byte {
+	return make([]byte, k) // want `make allocates`
+}
+
+// HotTransitive only allocates two calls down.
+//
+//memsnap:hotpath
+func HotTransitive(k int) { sinkBytes = helper(k) }
+
+// HotConvert covers the allocating conversions.
+//
+//memsnap:hotpath
+func HotConvert(s string, b []byte) int {
+	sinkBytes = []byte(s)   // want `string→\[\]byte/\[\]rune conversion allocates`
+	return len(string(b)) + // want `\[\]byte/\[\]rune→string conversion allocates`
+		len(any(b).([]byte)) // want `conversion to interface boxes the value and allocates`
+}
+
+// HotFmt hits the fmt deny rule and the stdlib deny-list.
+//
+//memsnap:hotpath
+func HotFmt(k int) string {
+	if k < 0 {
+		return strconv.Itoa(k) // want `strconv.Itoa allocates`
+	}
+	return fmt.Sprintf("k=%d", k) // want `fmt\.Sprintf boxes its operands and allocates`
+}
+
+// HotConcat allocates the joined string.
+//
+//memsnap:hotpath
+func HotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// HotFreshAppend grows a slice declared with no backing capacity.
+//
+//memsnap:hotpath
+func HotFreshAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to a fresh slice grows per call`
+	}
+	return out
+}
+
+// HotClosure allocates a closure environment and a goroutine.
+//
+//memsnap:hotpath
+func HotClosure(k int) func() int {
+	f := func() int { return k } // want `capturing func literal allocates a closure`
+	go spin()                    // want `go statement allocates a goroutine`
+	return f
+}
+
+func spin() {}
+
+// HotStatic uses a non-capturing literal: compiled statically, clean.
+//
+//memsnap:hotpath
+func HotStatic() {
+	f := func(a int) int { return a + 1 }
+	sinkInt = f(1)
+}
+
+// HotWithColdEdge calls into an annotated cold boundary: the traversal
+// stops there, so slowRecover's allocation is not hot.
+//
+//memsnap:hotpath
+func HotWithColdEdge(k int) {
+	if k < 0 {
+		slowRecover(k)
+	}
+	sinkInt = step(k)
+}
+
+// slowRecover allocates freely but is off the steady-state path.
+//
+//memsnap:coldpath
+func slowRecover(k int) {
+	sinkBytes = make([]byte, k)
+}
+
+// flusher models an interface edge the CHA step must resolve.
+type flusher interface{ flush(n int) }
+
+type cleanFlusher struct{ buf []byte }
+
+func (c *cleanFlusher) flush(n int) { c.buf = c.buf[:0] }
+
+type dirtyFlusher struct{}
+
+func (dirtyFlusher) flush(n int) {
+	sinkBytes = make([]byte, n) // want `make allocates`
+}
+
+// HotIface dispatches through the interface: every module
+// implementation becomes hot.
+//
+//memsnap:hotpath
+func HotIface(f flusher, n int) { f.flush(n) }
+
+// HotAllowed is the suppressed twin of HotDirect's make.
+//
+//memsnap:hotpath
+func HotAllowed(k int) {
+	sinkBytes = make([]byte, k) //lint:allow hotalloc fixture: proves suppression works
+}

@@ -1,0 +1,187 @@
+// Fixture for the poolown analyzer: BufPool/Buf stand in for
+// pool.PagePool/pool.Page and RC for the refcounted replica.Delta;
+// all three are registered in the analyzer's acquire/release table.
+// Every Get must reach a Put/Release on every path, and pooled values
+// escape (return, store, channel send) only through //memsnap:owns
+// functions.
+package poolown
+
+import "errors"
+
+var errFixture = errors.New("fixture")
+
+// Buf is a pooled buffer (test double for pool.Page).
+type Buf struct{ data []byte }
+
+// Release returns the buffer to its pool.
+func (b *Buf) Release() { b.data = b.data[:0] }
+
+// BufPool is a freelist (test double for pool.PagePool).
+type BufPool struct{ free []*Buf }
+
+// Get hands out a buffer the caller must Release or Put back.
+//
+//memsnap:owns
+func (p *BufPool) Get() *Buf {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &Buf{}
+}
+
+// Put returns a buffer to the freelist.
+func (p *BufPool) Put(b *Buf) { p.free = append(p.free, b) }
+
+// RC is a refcounted handle (test double for replica.Delta).
+type RC struct{ refs int }
+
+// Acquire adds a reference.
+func (r *RC) Acquire() { r.refs++ }
+
+// Release drops one.
+func (r *RC) Release() { r.refs-- }
+
+func use(b *Buf) {}
+
+// LeakOnError releases on success but not on the early error return.
+func LeakOnError(p *BufPool, fail bool) error {
+	b := p.Get() // want `pooled buffer acquired here is not released on every path`
+	if fail {
+		return errFixture
+	}
+	b.Release()
+	return nil
+}
+
+// CleanDeferred is the deferred twin: settled on every exit.
+func CleanDeferred(p *BufPool, fail bool) error {
+	b := p.Get()
+	defer b.Release()
+	if fail {
+		return errFixture
+	}
+	use(b)
+	return nil
+}
+
+// CleanBothArms releases explicitly on each path, one arm via Put.
+func CleanBothArms(p *BufPool, fail bool) {
+	b := p.Get()
+	if fail {
+		p.Put(b)
+		return
+	}
+	b.Release()
+}
+
+// DropLeak discards the acquire result outright.
+func DropLeak(p *BufPool) {
+	p.Get() // want `pooled buffer acquired here is not released on every path`
+}
+
+// DropAllowed is the suppressed twin of DropLeak.
+func DropAllowed(p *BufPool) {
+	p.Get() //lint:allow poolown fixture: proves suppression works
+}
+
+// LoopLeak reacquires every iteration but releases only after the
+// loop: all but the final buffer are lost.
+func LoopLeak(p *BufPool, n int) {
+	var b *Buf
+	for i := 0; i < n; i++ {
+		b = p.Get() // want `pooled buffer acquired here is not released on every path`
+	}
+	if b != nil {
+		b.Release()
+	}
+}
+
+// CleanLoop releases within the iteration that acquired.
+func CleanLoop(p *BufPool, n int) {
+	for i := 0; i < n; i++ {
+		b := p.Get()
+		use(b)
+		b.Release()
+	}
+}
+
+type holder struct{ b *Buf }
+
+// StoreLeak parks a pooled buffer in a longer-lived struct with no
+// ownership annotation.
+func StoreLeak(p *BufPool, h *holder) {
+	b := p.Get()
+	h.b = b // want `pooled buffer escapes via store into a longer-lived structure`
+}
+
+// StoreOwned is the annotated twin: callers know h takes the buffer.
+//
+//memsnap:owns
+func StoreOwned(p *BufPool, h *holder) {
+	b := p.Get()
+	h.b = b
+}
+
+// ReturnLeak hands the buffer to its caller with no annotation.
+func ReturnLeak(p *BufPool) *Buf {
+	b := p.Get()
+	return b // want `pooled buffer escapes via return`
+}
+
+// Borrow is the annotated twin: ownership transfers up the stack.
+//
+//memsnap:owns
+func Borrow(p *BufPool) *Buf {
+	return p.Get()
+}
+
+// ship takes ownership of b and releases it downstream.
+//
+//memsnap:owns
+func ship(b *Buf) { b.Release() }
+
+// CleanTransfer discharges its obligation by handing the buffer to an
+// owns-annotated function.
+func CleanTransfer(p *BufPool) {
+	b := p.Get()
+	ship(b)
+}
+
+// QueueLeak enqueues a pooled buffer with no ownership annotation.
+func QueueLeak(p *BufPool, ch chan *Buf) {
+	b := p.Get()
+	ch <- b // want `pooled buffer escapes via channel send`
+}
+
+// QueueOwned is the annotated twin: the consumer owns the buffer.
+//
+//memsnap:owns
+func QueueOwned(p *BufPool, ch chan *Buf) {
+	b := p.Get()
+	ch <- b
+}
+
+// RetainLeak takes a reference it never drops.
+func RetainLeak(r *RC) {
+	r.Acquire() // want `refcounted handle acquired here is not released on every path`
+}
+
+// CleanRetain pairs the reference.
+func CleanRetain(r *RC) {
+	r.Acquire()
+	r.Release()
+}
+
+// DoubleRetainSingleRelease leaves one reference outstanding.
+func DoubleRetainSingleRelease(r *RC) {
+	r.Acquire() // want `refcounted handle acquired here is not released on every path`
+	r.Acquire()
+	r.Release()
+}
+
+// RetainAllowed is the suppressed twin of RetainLeak.
+func RetainAllowed(r *RC) {
+	r.Acquire() //lint:allow poolown fixture: proves suppression works
+}

@@ -167,12 +167,15 @@ func (m *PhysMem) Alloc(clk *sim.Clock) *Page {
 		for i := range data {
 			data[i] = 0
 		}
+		//lint:allow hotalloc fresh Page identity per frame reuse keeps stale frame pointers inert
 		pg := &Page{frame: f}
 		m.pages[f] = pg
 		return pg
 	}
 	f := Frame(len(m.frames))
+	//lint:allow hotalloc physical memory growth, once per frame for the machine lifetime
 	m.frames = append(m.frames, make([]byte, PageSize))
+	//lint:allow hotalloc physical memory growth, once per frame for the machine lifetime
 	pg := &Page{frame: f}
 	m.pages = append(m.pages, pg)
 	return pg

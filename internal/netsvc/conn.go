@@ -100,6 +100,8 @@ func (c *conn) closeRead() {
 // readLoop decodes frames and submits them. It exits on EOF, read
 // error, or the first malformed frame (protocol errors are not
 // recoverable mid-stream: framing may be lost).
+//
+//memsnap:hotpath
 func (c *conn) readLoop() {
 	defer c.srv.wg.Done()
 	defer close(c.readerDone)
@@ -167,11 +169,14 @@ func (c *conn) readLoop() {
 // discards output, so shard workers and the reader never wedge on a
 // broken peer. It exits when the reader is done and the in-flight
 // table is empty, then closes the connection.
+//
+//memsnap:hotpath
 func (c *conn) writeLoop() {
 	defer c.srv.wg.Done()
 	defer c.srv.untrack(c)
 	defer c.c.Close()
 	bw := bufio.NewWriterSize(c.c, 16<<10)
+	//lint:allow hotalloc per-connection setup before the loop, not per frame
 	buf := make([]byte, 0, 64)
 	broken := false
 	done := c.readerDone
@@ -248,6 +253,7 @@ func (c *conn) intern(b []byte) string {
 	if s, ok := c.strs[string(b)]; ok { // no-copy map lookup
 		return s
 	}
+	//lint:allow hotalloc intern miss path; copies amortize to zero while the table has room
 	s := string(b)
 	if len(c.strs) < maxIntern {
 		c.strs[s] = s

@@ -53,6 +53,7 @@ func (a *allocator) alloc(at time.Duration) (int64, error) {
 		return off, nil
 	}
 	if a.next+BlockSize > a.limit {
+		//lint:allow hotalloc out-of-space error path
 		return 0, fmt.Errorf("objstore: out of space (limit %d)", a.limit)
 	}
 	off := a.next

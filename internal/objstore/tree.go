@@ -18,8 +18,10 @@ type node struct {
 }
 
 func newNode(interior bool) *node {
+	//lint:allow hotalloc tree structure growth, retained across commits (COW rewrites reuse nodes)
 	n := &node{children: make([]int64, treeFanout)}
 	if interior {
+		//lint:allow hotalloc tree structure growth, retained across commits
 		n.kids = make([]*node, treeFanout)
 	}
 	return n

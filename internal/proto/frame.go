@@ -27,6 +27,7 @@ func NewFrameReader(r io.Reader, max int) *FrameReader {
 	if max <= 0 {
 		max = MaxFrame
 	}
+	//lint:allow hotalloc per-connection constructor, not per frame
 	return &FrameReader{r: r, buf: make([]byte, 512), max: max}
 }
 
@@ -50,6 +51,7 @@ func (fr *FrameReader) Next() ([]byte, error) {
 		return nil, ErrFrameTooLarge
 	}
 	if int(n) > len(fr.buf) {
+		//lint:allow hotalloc frame buffer growth to the high-water payload size, amortized
 		fr.buf = make([]byte, int(n))
 	}
 	payload := fr.buf[:n]

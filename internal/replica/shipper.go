@@ -126,6 +126,8 @@ type shipShard struct {
 
 // retain appends d to the replay history, keeping the last window
 // deltas; the history holds one reference per retained delta.
+//
+//memsnap:owns
 func (ss *shipShard) retain(d *Delta, window int) {
 	d.retain()
 	var evicted *Delta
@@ -147,6 +149,8 @@ func (ss *shipShard) retain(d *Delta, window int) {
 // ok=false when the history has a hole in that range (snapshot
 // catch-up required). An empty range is trivially covered. Returned
 // deltas carry a reference each; the caller releases them.
+//
+//memsnap:owns
 func (ss *shipShard) retainedRange(from, to uint64) ([]*Delta, bool) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
@@ -247,7 +251,10 @@ func (s *Shipper) follower() *Follower {
 	return s.fol
 }
 
-// ShipCommit implements shard.Replicator.
+// ShipCommit implements shard.Replicator. Async mode retains a
+// reference the queued job owns; the run loop releases it.
+//
+//memsnap:owns
 func (s *Shipper) ShipCommit(shardID int, at time.Duration, c shard.Commit, snap func() shard.Snapshot) (time.Duration, error) {
 	ss := s.shards[shardID]
 	d := &Delta{Shard: shardID, Seq: c.Seq, Era: c.Era, Epoch: c.Epoch, Pages: c.Pages, pooled: c.Owned}
@@ -278,6 +285,8 @@ func (s *Shipper) ShipCommit(shardID int, at time.Duration, c shard.Commit, snap
 // behind a snapshot transfer), then the queue, then a final drain
 // after stop. Each fetched job seeds a coalescing pass over whatever
 // else is already waiting.
+//
+//memsnap:hotpath
 func (s *Shipper) run(ss *shipShard) {
 	defer s.wg.Done()
 	for {
@@ -539,6 +548,8 @@ func (s *Shipper) deliver(ss *shipShard, at time.Duration, d *Delta, snapFn func
 // catchUp closes a follower gap ending at d: replay the missing
 // deltas from the retained window when it covers them, otherwise
 // transfer a full-region snapshot.
+//
+//memsnap:coldpath
 func (s *Shipper) catchUp(ss *shipShard, at time.Duration, folLast uint64, d *Delta, snapFn func() shard.Snapshot) (time.Duration, error) {
 	if replay, ok := ss.retainedRange(folLast+1, d.Seq); ok {
 		t := at
@@ -570,6 +581,8 @@ func (s *Shipper) catchUp(ss *shipShard, at time.Duration, folLast uint64, d *De
 // draining its own queue into the backlog meanwhile, so the shard
 // worker — possibly blocked on a full window — can always make
 // progress to serve the snapshot request: no deadlock.
+//
+//memsnap:coldpath
 func (s *Shipper) obtainSnapshot(ss *shipShard, snapFn func() shard.Snapshot) (*shard.Snapshot, error) {
 	if snapFn != nil {
 		snap := snapFn()
@@ -602,6 +615,8 @@ func (s *Shipper) obtainSnapshot(ss *shipShard, snapFn func() shard.Snapshot) (*
 
 // sendSnapshot transfers a full-region snapshot with the same
 // loss/retry machinery as deltas.
+//
+//memsnap:coldpath
 func (s *Shipper) sendSnapshot(ss *shipShard, at time.Duration, snap *shard.Snapshot) (time.Duration, error) {
 	fol := s.follower()
 	if fol == nil {

@@ -148,7 +148,10 @@ func (sh *shard) gather(first *request) []*request {
 // that fail validation) are answered immediately; successful writes
 // are folded into one uCheckpoint whose IO is initiated here with
 // MSAsync, and are answered by retire once it is durable. Returns nil
-// when the batch dirtied nothing.
+// when the batch dirtied nothing. Captured pages move into the
+// pendingBatch's Commit, whose consumer releases them (Owned: true).
+//
+//memsnap:owns
 func (sh *shard) apply(batch []*request) *pendingBatch {
 	start := sh.ctx.Clock().Now()
 	// One queue-wait span per batch: enqueue of the oldest request to

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// entry is one point of a key's write history: the value after some
+// prefix of the key's writes (present=false encodes absence).
+type entry struct {
+	val     uint64
+	present bool
+}
+
+// keyState tracks what the service may legally return for one key.
+//
+// The last entry is always the current primary-visible state. The
+// preceding entries are retained survivability points: after a crash
+// the store rolls back to some committed prefix, so the surviving
+// value must be one of them. Confirmed (fully replicated, durably
+// acked) writes truncate the history to its last two points (the
+// final commit of a shard can still be torn by a power cut inside its
+// IO window, so the immediately-previous state stays survivable);
+// unconfirmed writes (acked ErrLinkDown: durable locally, follower
+// unreached) append without truncating, because a failover may land
+// on any point of the unconfirmed suffix.
+//
+// uncertain flips once a crash actually made the current state
+// ambiguous; from then on reads check membership in the history
+// instead of equality with the last entry, until the next confirmed
+// write re-collapses the key.
+type keyState struct {
+	hist      []entry
+	unconf    int // trailing entries not confirmed on the follower
+	uncertain bool
+}
+
+// model is the per-cell client-side checker: it shadows every write
+// the driver issues and validates every read and recovery against the
+// set of legally surviving values.
+type model struct {
+	m map[string]*keyState
+}
+
+func newModel() *model { return &model{m: make(map[string]*keyState)} }
+
+func (md *model) state(key string) *keyState {
+	ks := md.m[key]
+	if ks == nil {
+		ks = &keyState{hist: []entry{{present: false}}}
+		md.m[key] = ks
+	}
+	return ks
+}
+
+// confirmedWrite records a write that was durably acked with full
+// replication confirmation (or no replication configured).
+func (md *model) confirmedWrite(key string, val uint64, present bool) {
+	ks := md.state(key)
+	e := entry{val: val, present: present}
+	if ks.uncertain || ks.unconf > 0 {
+		// The pre-state was ambiguous; keep the old survivability
+		// points (a future torn final commit may roll back to any of
+		// them) and append the now-exact current state.
+		ks.hist = append(ks.hist, e)
+	} else {
+		prev := ks.hist[len(ks.hist)-1]
+		ks.hist = append(ks.hist[:0], prev, e)
+	}
+	ks.unconf = 0
+	ks.uncertain = false
+}
+
+// unconfirmedWrite records a write acked ErrLinkDown: applied and
+// durable on the primary, possibly never seen by the follower.
+func (md *model) unconfirmedWrite(key string, val uint64, present bool) {
+	ks := md.state(key)
+	ks.hist = append(ks.hist, entry{val: val, present: present})
+	ks.unconf++
+}
+
+// current returns the primary-visible state, exact only when the key
+// is not uncertain.
+func (md *model) current(key string) (entry, bool) {
+	ks := md.m[key]
+	if ks == nil {
+		return entry{}, false
+	}
+	return ks.hist[len(ks.hist)-1], !ks.uncertain
+}
+
+// checkRead validates an OpGet outcome; it returns a violation
+// message or "".
+func (md *model) checkRead(key string, val uint64, found bool) string {
+	ks := md.m[key]
+	if ks == nil {
+		if found {
+			return fmt.Sprintf("read %q: found value %d for a never-written key", key, val)
+		}
+		return ""
+	}
+	if !ks.uncertain {
+		want := ks.hist[len(ks.hist)-1]
+		if found != want.present || (found && val != want.val) {
+			return fmt.Sprintf("read %q: got (found=%v val=%d), want (found=%v val=%d)",
+				key, found, val, want.present, want.val)
+		}
+		return ""
+	}
+	for _, e := range ks.hist {
+		if found == e.present && (!found || val == e.val) {
+			return ""
+		}
+	}
+	return fmt.Sprintf("read %q: got (found=%v val=%d), not among %d surviving states",
+		key, found, val, len(ks.hist))
+}
+
+// checkAdd validates an OpAdd post-increment value against the
+// pre-state and returns the violation ("" if fine). The caller then
+// records the write (confirmed or not) with the returned value.
+func (md *model) checkAdd(key string, delta, got uint64) string {
+	ks := md.m[key]
+	if ks == nil {
+		if got != delta {
+			return fmt.Sprintf("add %q: post-value %d, want %d on a fresh key", key, got, delta)
+		}
+		return ""
+	}
+	if !ks.uncertain {
+		cur := ks.hist[len(ks.hist)-1]
+		var want uint64
+		if cur.present {
+			want = cur.val + delta
+		} else {
+			want = delta
+		}
+		if got != want {
+			return fmt.Sprintf("add %q: post-value %d, want %d", key, got, want)
+		}
+		return ""
+	}
+	for _, e := range ks.hist {
+		want := delta
+		if e.present {
+			want = e.val + delta
+		}
+		if got == want {
+			return ""
+		}
+	}
+	return fmt.Sprintf("add %q: post-value %d not derivable from any of %d surviving states",
+		key, got, len(ks.hist))
+}
+
+// maybeWrite records a write whose admission is unknown (the
+// connection died before a response): both the pre-state and the
+// written value survive as legal outcomes.
+func (md *model) maybeWrite(key string, val uint64, present bool) {
+	ks := md.state(key)
+	ks.hist = append(ks.hist, entry{val: val, present: present})
+	ks.uncertain = true
+}
+
+// markUncertain flags a key whose current value may have been rolled
+// back by a crash (e.g. the final commit of its shard was torn).
+func (md *model) markUncertain(key string) {
+	if ks := md.m[key]; ks != nil {
+		ks.uncertain = true
+	}
+}
+
+// failover marks every key with an unconfirmed suffix uncertain: the
+// promoted follower holds some prefix of the unconfirmed writes.
+// Fully confirmed keys stay exact — synchronous replication acked
+// them only after the follower applied them.
+func (md *model) failover() {
+	for _, ks := range md.m {
+		if ks.unconf > 0 {
+			ks.uncertain = true
+		}
+	}
+}
+
+// sortedKeys returns the model's keys in deterministic order. Every
+// iteration that drives service operations must use it: map order
+// would leak scheduling nondeterminism into virtual time.
+func (md *model) sortedKeys() []string {
+	keys := make([]string, 0, len(md.m))
+	for k := range md.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is the machine-readable outcome of a grid sweep.
+type Report struct {
+	Workload   string       `json:"workload"`
+	Seeds      []uint64     `json:"seeds"`
+	Schedules  []string     `json:"schedules"`
+	Topologies []Topology   `json:"topologies"`
+	Cells      []CellResult `json:"cells"`
+	Total      int          `json:"total"`
+	Failed     int          `json:"failed"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FailedCells returns the failing cells, grid order.
+func (r *Report) FailedCells() []CellResult {
+	var out []CellResult
+	for _, c := range r.Cells {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Matrix renders a human-readable pass/fail matrix: one row per
+// (schedule, topology), one column per seed, followed by the failing
+// cells' IDs and violations. Any failing ID feeds straight back into
+// RunCell (or msnap-chaos -cell) as a reproducer.
+func (r *Report) Matrix() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos matrix: workload=%s, %d cells, %d failed\n", r.Workload, r.Total, r.Failed)
+	wide := 0
+	rows := make(map[string][]CellResult)
+	var order []string
+	for _, c := range r.Cells {
+		row := fmt.Sprintf("%s/%s", c.Schedule, c.Topology)
+		if _, ok := rows[row]; !ok {
+			order = append(order, row)
+		}
+		rows[row] = append(rows[row], c)
+		if len(row) > wide {
+			wide = len(row)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", wide+2, "")
+	for _, s := range r.Seeds {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("seed=%d", s))
+	}
+	b.WriteByte('\n')
+	for _, row := range order {
+		fmt.Fprintf(&b, "%-*s", wide+2, row)
+		byseed := make(map[uint64]CellResult, len(rows[row]))
+		for _, c := range rows[row] {
+			byseed[c.Seed] = c
+		}
+		for _, s := range r.Seeds {
+			c, ok := byseed[s]
+			switch {
+			case !ok:
+				fmt.Fprintf(&b, " %9s", "-")
+			case c.Pass:
+				fmt.Fprintf(&b, " %9s", "ok")
+			default:
+				fmt.Fprintf(&b, " %9s", "FAIL")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, c := range r.FailedCells() {
+		fmt.Fprintf(&b, "\nFAIL %s (%d violations):\n", c.ID, len(c.Violations))
+		for i, v := range c.Violations {
+			if i == 8 {
+				fmt.Fprintf(&b, "  ... %d more\n", len(c.Violations)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  - %s\n", v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"fmt"
+
+	"memsnap/internal/shard"
+	"memsnap/internal/workload"
+)
+
+// opSource adapts a workload generator to a deterministic stream of
+// shard operations.
+type opSource interface {
+	Next() shard.Op
+}
+
+// Workloads lists the selectable workload names.
+func Workloads() []string { return []string{"ycsb-a", "ycsb-b", "ycsb-f", "tatp", "tpcc"} }
+
+// newSource builds the named workload seeded from the cell seed.
+// Keyspaces are kept small so the mixed ops collide on hot keys and
+// every shard sees steady write traffic.
+func newSource(name string, seed uint64) (opSource, error) {
+	switch name {
+	case "", "ycsb-a":
+		cfg := workload.YCSBWorkloadA()
+		cfg.Records = 512
+		return &ycsbSource{y: workload.NewYCSB(seed, cfg)}, nil
+	case "ycsb-b":
+		cfg := workload.YCSBWorkloadB()
+		cfg.Records = 512
+		return &ycsbSource{y: workload.NewYCSB(seed, cfg)}, nil
+	case "ycsb-f":
+		cfg := workload.YCSBWorkloadF()
+		cfg.Records = 512
+		return &ycsbSource{y: workload.NewYCSB(seed, cfg)}, nil
+	case "tatp":
+		return &tatpSource{t: workload.NewTATP(seed, 1024)}, nil
+	case "tpcc":
+		return &tpccSource{t: workload.NewTPCC(seed, 4)}, nil
+	}
+	return nil, fmt.Errorf("chaos: unknown workload %q (have %v)", name, Workloads())
+}
+
+// ycsbSource maps the YCSB mixed-ratio generator onto shard ops:
+// reads become gets, updates and inserts become puts, and the
+// read-modify-write transaction becomes an atomic add.
+type ycsbSource struct {
+	y *workload.YCSB
+}
+
+func (s *ycsbSource) Next() shard.Op {
+	op := s.y.Next()
+	key := fmt.Sprintf("y%06d", op.Key)
+	switch op.Kind {
+	case workload.YCSBRead:
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: key}
+	case workload.YCSBRMW:
+		return shard.Op{Kind: shard.OpAdd, Tenant: "t", Key: key, Value: op.Value}
+	default: // update, insert
+		return shard.Op{Kind: shard.OpPut, Tenant: "t", Key: key, Value: op.Value}
+	}
+}
+
+// tatpSource maps TATP onto shard ops over subscriber and
+// call-forwarding records.
+type tatpSource struct {
+	t *workload.TATP
+}
+
+func (s *tatpSource) Next() shard.Op {
+	tx := s.t.Next()
+	sub := fmt.Sprintf("sub%06d", tx.Subscriber)
+	cf := fmt.Sprintf("cf%06d-%d", tx.Subscriber, tx.AIType)
+	switch tx.Op {
+	case workload.TATPGetSubscriberData, workload.TATPGetAccessData:
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: sub}
+	case workload.TATPGetNewDestination:
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: cf}
+	case workload.TATPUpdateSubscriberData:
+		return shard.Op{Kind: shard.OpPut, Tenant: "t", Key: sub, Value: uint64(tx.AIType)}
+	case workload.TATPUpdateLocation:
+		return shard.Op{Kind: shard.OpPut, Tenant: "t", Key: sub, Value: uint64(tx.Location)}
+	case workload.TATPInsertCallForwarding:
+		return shard.Op{Kind: shard.OpPut, Tenant: "t", Key: cf, Value: uint64(tx.Subscriber) + 1}
+	default: // TATPDeleteCallForwarding
+		return shard.Op{Kind: shard.OpDelete, Tenant: "t", Key: cf}
+	}
+}
+
+// tpccSource maps TPC-C onto per-district counters: new orders and
+// deliveries bump order counters, payments bump year-to-date sums,
+// and the read transactions probe them.
+type tpccSource struct {
+	t *workload.TPCC
+}
+
+func (s *tpccSource) Next() shard.Op {
+	tx := s.t.Next()
+	district := fmt.Sprintf("w%02d-d%02d", tx.Warehouse, tx.District)
+	switch tx.Op {
+	case workload.TPCCNewOrder:
+		return shard.Op{Kind: shard.OpAdd, Tenant: "t", Key: district + "-orders", Value: uint64(len(tx.Items))}
+	case workload.TPCCPayment:
+		return shard.Op{Kind: shard.OpAdd, Tenant: "t", Key: district + "-ytd", Value: uint64(tx.Amount%10000) + 1}
+	case workload.TPCCDelivery:
+		return shard.Op{Kind: shard.OpAdd, Tenant: "t", Key: district + "-delivered", Value: 1}
+	case workload.TPCCOrderStatus:
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: district + "-orders"}
+	default: // TPCCStockLevel
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: district + "-ytd"}
+	}
+}

@@ -155,7 +155,7 @@ func (d *Device) submitWriteV(at time.Duration, segs []Extent, total int) time.D
 	if d.nextFree > start {
 		start = d.nextFree
 	}
-	completion := start + d.costs.DiskBaseLatency + d.costs.TransferCost(total)
+	completion := start + d.ioCostLocked(start, total)
 	d.nextFree = completion
 	for _, s := range segs {
 		d.checkRange(s.Offset, len(s.Data))
@@ -211,6 +211,15 @@ func (a *Array) CutPower(at time.Duration, rng *sim.RNG) {
 	for _, d := range a.devices {
 		d.CutPower(at, rng)
 	}
+}
+
+// SetStraggler installs a slow-IO window on device dev (see
+// Device.SetStraggler). Because the array fans one logical IO out
+// across the stripe and completes at the max across devices, a single
+// straggling device throttles the whole array — the fail-slow
+// amplification fault schedules exercise.
+func (a *Array) SetStraggler(dev int, from, to time.Duration, factor int) {
+	a.devices[dev].SetStraggler(from, to, factor)
 }
 
 // PeekAt reads array contents without cost, for tests and tooling.

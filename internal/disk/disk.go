@@ -66,6 +66,11 @@ type Device struct {
 	// undo history up to: state before it cannot be reconstructed, so
 	// CutPower clamps earlier cut times forward to it.
 	gcFloor time.Duration
+	// Straggler window: IO starting in [stragFrom, stragTo) costs
+	// stragFactor times the normal base+transfer latency, modeling a
+	// degraded device (fail-slow SSD, garbage-collection stall).
+	stragFrom, stragTo time.Duration
+	stragFactor        int
 
 	writes       int64
 	reads        int64
@@ -98,6 +103,32 @@ func (d *Device) Capacity() int64 {
 	return d.data.capacity
 }
 
+// SetStraggler installs a slow-IO window: any IO whose service starts
+// in [from, to) costs factor times the normal base+transfer latency.
+// Windows may be installed ahead of virtual time (fault schedules
+// pre-install them), and factor <= 1 clears the window. Queueing still
+// applies: a straggling IO delays everything behind it, which is the
+// fail-slow amplification the window is meant to exercise.
+func (d *Device) SetStraggler(from, to time.Duration, factor int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if factor <= 1 {
+		d.stragFrom, d.stragTo, d.stragFactor = 0, 0, 0
+		return
+	}
+	d.stragFrom, d.stragTo, d.stragFactor = from, to, factor
+}
+
+// ioCostLocked returns the service cost of an n-byte IO whose service
+// starts at start, applying the straggler window if one covers start.
+func (d *Device) ioCostLocked(start time.Duration, n int) time.Duration {
+	cost := d.costs.DiskBaseLatency + d.costs.TransferCost(n)
+	if d.stragFactor > 1 && start >= d.stragFrom && start < d.stragTo {
+		cost *= time.Duration(d.stragFactor)
+	}
+	return cost
+}
+
 func (d *Device) checkRange(offset int64, n int) {
 	if offset < 0 || offset+int64(n) > d.data.capacity {
 		//lint:allow hotalloc fatal-path formatting on an out-of-range IO
@@ -121,7 +152,7 @@ func (d *Device) SubmitWrite(at time.Duration, offset int64, data []byte) time.D
 	if d.nextFree > start {
 		start = d.nextFree
 	}
-	completion := start + d.costs.DiskBaseLatency + d.costs.TransferCost(len(data))
+	completion := start + d.ioCostLocked(start, len(data))
 	d.nextFree = completion
 
 	buf, old := getOldBuf(len(data))
@@ -146,7 +177,7 @@ func (d *Device) SubmitRead(at time.Duration, offset int64, buf []byte) time.Dur
 	if d.nextFree > start {
 		start = d.nextFree
 	}
-	completion := start + d.costs.DiskBaseLatency + d.costs.TransferCost(len(buf))
+	completion := start + d.ioCostLocked(start, len(buf))
 	d.nextFree = completion
 
 	d.data.readAt(offset, buf)

@@ -273,3 +273,67 @@ func TestCutPowerClampsToGCFloorAcrossArray(t *testing.T) {
 		t.Fatalf("device-0 state %d inconsistent with a crash at the reclaim floor", d0[0])
 	}
 }
+
+func TestStragglerWindowMultipliesCost(t *testing.T) {
+	m := costs()
+	d := NewDevice(m, 1<<20)
+	buf := make([]byte, 4096)
+	normal := m.IOCost(4096)
+
+	// Pre-install a future window — fault schedules install faults
+	// before virtual time reaches them.
+	from, to := 10*time.Millisecond, 20*time.Millisecond
+	d.SetStraggler(from, to, 8)
+
+	if got := d.SubmitWrite(0, 0, buf) - 0; got != normal {
+		t.Fatalf("pre-window write cost %v, want %v", got, normal)
+	}
+	at := from + time.Millisecond
+	if got := d.SubmitWrite(at, 0, buf) - at; got != 8*normal {
+		t.Fatalf("in-window write cost %v, want %v", got, 8*normal)
+	}
+	at = from + 2*time.Millisecond
+	if got := d.SubmitRead(at, 0, buf) - at; got != 8*normal {
+		t.Fatalf("in-window read cost %v, want %v", got, 8*normal)
+	}
+	at = to + time.Millisecond
+	if got := d.SubmitWrite(at, 0, buf) - at; got != normal {
+		t.Fatalf("post-window write cost %v, want %v", got, normal)
+	}
+
+	// The window keys off service start, not submit time: an IO queued
+	// from before the window whose service begins inside it straggles.
+	d2 := NewDevice(m, 1<<20)
+	d2.SetStraggler(normal, time.Minute, 8)
+	c1 := d2.SubmitWrite(0, 0, buf)      // services at 0, normal cost
+	c2 := d2.SubmitWrite(0, 4096, buf)   // queues; services at c1, inside window
+	if c1 != normal {
+		t.Fatalf("first write cost %v, want %v", c1, normal)
+	}
+	if got := c2 - c1; got != 8*normal {
+		t.Fatalf("queued in-window write cost %v, want %v", got, 8*normal)
+	}
+
+	// factor <= 1 clears the window.
+	d3 := NewDevice(m, 1<<20)
+	d3.SetStraggler(0, time.Minute, 8)
+	d3.SetStraggler(0, time.Minute, 1)
+	if got := d3.SubmitWrite(0, 0, buf); got != normal {
+		t.Fatalf("cleared-window write cost %v, want %v", got, normal)
+	}
+}
+
+func TestArrayStragglerThrottlesWholeArray(t *testing.T) {
+	m := costs()
+	a := NewArray(m, 2, 1<<20)
+	// One logical IO spanning both devices completes at the max across
+	// devices, so one straggling device throttles the array.
+	big := make([]byte, 2*m.StripeSize)
+	base := a.Write(0, 0, big)
+	a.SetStraggler(0, 0, time.Minute, 8)
+	at := base + time.Millisecond
+	slow := a.Write(at, 0, big) - at
+	if slow <= (base-0)*2 {
+		t.Fatalf("straggling device did not throttle array: %v vs healthy %v", slow, base)
+	}
+}

@@ -44,3 +44,26 @@ func okConstruct(costs *sim.CostModel) *mem.PhysMem {
 func suppressed(pm *mem.PhysMem) []byte {
 	return pm.Data(0) //lint:allow faultpath fixture: proves suppression works
 }
+
+// A chaos schedule handler: a fault callback fired at a virtual
+// instant. Handlers inject faults through charged, clock-carrying
+// APIs; reaching into frames behind the MMU would mutate state no
+// device ever paid latency for.
+func badScheduleHandler(pm *mem.PhysMem, clk *sim.Clock) {
+	pg := pm.Alloc(clk)        // want `\(\*mem\.PhysMem\)\.Alloc bypasses the simulated MMU`
+	buf := pm.Data(pg.Frame()) // want `\(\*mem\.PhysMem\)\.Data bypasses the simulated MMU`
+	for i := range buf {
+		buf[i] = 0xff
+	}
+}
+
+// The sanctioned handler shape: corrupt state only through the access
+// API, which fires faults and keeps the dirty set sound.
+func okScheduleHandler(t *vm.Thread, addr uint64) {
+	t.Write(addr, []byte{0xff})
+}
+
+// Suppressed twin of badScheduleHandler.
+func suppressedScheduleHandler(pm *mem.PhysMem, clk *sim.Clock) {
+	pm.Free(pm.Alloc(clk)) //lint:allow faultpath fixture: schedule-handler suppression twin
+}

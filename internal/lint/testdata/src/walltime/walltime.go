@@ -26,3 +26,29 @@ func ok() time.Duration {
 func suppressed() time.Time {
 	return time.Now() //lint:allow walltime fixture: proves suppression works
 }
+
+// A chaos schedule handler: a callback fired at a virtual instant
+// (chaos.Event.At). Everything it needs must derive from that instant;
+// reading the wall clock inside a handler would make the fault's
+// firing point — and therefore the whole cell — nonreproducible.
+type scheduleEvent struct {
+	at, dur time.Duration
+}
+
+func badScheduleHandler(ev scheduleEvent) time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(ev.dur)           // want `time\.Sleep reads the wall clock`
+	elapsed := time.Since(start) // want `time\.Since reads the wall clock`
+	return elapsed
+}
+
+// The sanctioned handler shape: window arithmetic on the scheduled
+// virtual instant only.
+func okScheduleHandler(ev scheduleEvent, now time.Duration) bool {
+	return now >= ev.at && now < ev.at+ev.dur
+}
+
+// Suppressed twin of badScheduleHandler.
+func suppressedScheduleHandler(ev scheduleEvent) time.Time {
+	return time.Now().Add(ev.at) //lint:allow walltime fixture: schedule-handler suppression twin
+}

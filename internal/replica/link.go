@@ -96,6 +96,16 @@ func (l *Link) Cut(at time.Duration) {
 	l.outages = append(l.outages, outage{from: at, to: outageOpen})
 }
 
+// OutageWindow installs a bounded outage [from, to): every message
+// whose transmission overlaps the window is lost. Windows may be
+// installed ahead of virtual time — fault schedules pre-install them
+// at scenario start — and may overlap each other or an open Cut.
+func (l *Link) OutageWindow(from, to time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.outages = append(l.outages, outage{from: from, to: to})
+}
+
 // Restore heals the most recent open cut at virtual time at.
 func (l *Link) Restore(at time.Duration) {
 	l.mu.Lock()

@@ -1,0 +1,36 @@
+package replica_test
+
+import (
+	"testing"
+	"time"
+
+	"memsnap/internal/replica"
+)
+
+// TestLinkOutageWindow pins the pre-installed bounded-outage
+// semantics: messages overlapping the window are lost, messages
+// entirely before or after it survive, and overlapping windows
+// compose.
+func TestLinkOutageWindow(t *testing.T) {
+	link := replica.NewLink(replica.LinkConfig{})
+	link.OutageWindow(10*time.Millisecond, 12*time.Millisecond)
+
+	if _, ok := link.Deliver(0, 64); !ok {
+		t.Fatalf("message before the window was lost")
+	}
+	if _, ok := link.Deliver(10*time.Millisecond+time.Microsecond, 64); ok {
+		t.Fatalf("message inside the window survived")
+	}
+	if _, ok := link.Deliver(13*time.Millisecond, 64); !ok {
+		t.Fatalf("message after the window was lost")
+	}
+
+	// A second overlapping window extends the blackout.
+	link.OutageWindow(11*time.Millisecond, 15*time.Millisecond)
+	if _, ok := link.Deliver(14*time.Millisecond, 64); ok {
+		t.Fatalf("message inside the second window survived")
+	}
+	if _, ok := link.Deliver(16*time.Millisecond, 64); !ok {
+		t.Fatalf("message after both windows was lost")
+	}
+}

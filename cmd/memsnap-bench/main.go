@@ -17,6 +17,12 @@
 // (internal/perfbench) and writes the machine-readable report; it
 // exits non-zero if steady-state persist allocations exceed the
 // committed ceiling, so CI can gate on it.
+//
+// -replica runs the replication wire benchmark: bytes on the link per
+// write transaction for TATP, TPC-C, and YCSB-A, in both full-page
+// and sub-page-diff modes. The numbers are virtual-time deterministic,
+// so the BENCH_replica.json report is committable; the run exits
+// non-zero if the sub-page reduction falls below the committed floor.
 package main
 
 import (
@@ -30,13 +36,23 @@ import (
 	"memsnap/internal/perfbench"
 )
 
+// writeReport serializes a benchmark report as indented JSON.
+func writeReport(path string, rep any) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = harness default)")
 	threads := flag.Int("threads", 4, "worker threads for multi-threaded experiments")
 	seed := flag.Uint64("seed", 1, "workload RNG seed")
 	jsonBench := flag.Bool("json", false, "run the persist hot-path benchmark and write a JSON report")
-	out := flag.String("out", "BENCH_persist.json", "output path for the -json report")
+	replicaBench := flag.Bool("replica", false, "run the replication wire benchmark and write a JSON report")
+	out := flag.String("out", "", "output path for the -json / -replica report")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: %s [flags] <experiment>... | all\n\nflags:\n", os.Args[0])
 		flag.PrintDefaults()
@@ -47,19 +63,44 @@ func main() {
 	}
 	flag.Parse()
 
+	if *replicaBench {
+		if *out == "" {
+			*out = "BENCH_replica.json"
+		}
+		rep, err := perfbench.RunReplica(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeReport(*out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, sc := range rep.Scenarios {
+			fmt.Printf("%-8s %-5s %8d txns %12d wire B %10.1f B/txn %8.2f encode us/txn\n",
+				sc.Workload, sc.Mode, sc.Txns, sc.WireBytes, sc.BytesPerTxn, sc.EncodeUsPerTxn)
+		}
+		for _, wl := range perfbench.ReplicaWorkloads() {
+			fmt.Printf("%-8s bytes/txn reduction: %.2fx\n", wl, rep.Reduction[wl])
+		}
+		fmt.Printf("report written to %s\n", *out)
+		if err := perfbench.CheckReplicaCeilings(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonBench {
+		if *out == "" {
+			*out = "BENCH_persist.json"
+		}
 		rep, err := perfbench.Run(*scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
 			os.Exit(1)
 		}
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
-			os.Exit(1)
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		if err := writeReport(*out, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -106,6 +106,26 @@ func TestOutageComposesWithClampedPowerCut(t *testing.T) {
 	}
 }
 
+// TestDiffCrashTearsSubPageApply pins the diffcrash schedule: two
+// follower crashes tear sub-page-patched µCheckpoint applies (the
+// replica topology ships extent/XOR frames by default) around a link
+// outage, and every cell must converge through the pre-image hash
+// guard's replay/snapshot resync — never by XOR-patching a torn base.
+func TestDiffCrashTearsSubPageApply(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		res := RunCell(Config{MinOps: 200}, Cell{Seed: seed, Schedule: "diffcrash", Topology: TopoReplica})
+		if !res.Pass {
+			t.Errorf("cell %s:\n  %s", res.ID, strings.Join(res.Violations, "\n  "))
+		}
+		if res.FaultsFired != 3 {
+			t.Errorf("cell %s: %d faults fired, want 2 follower crashes + outage", res.ID, res.FaultsFired)
+		}
+		if res.Recoveries < 3 {
+			t.Errorf("cell %s: %d recoveries, want 2 follower rebuilds + final audit", res.ID, res.Recoveries)
+		}
+	}
+}
+
 // TestRunRejectsUnknownAxes checks sweep validation.
 func TestRunRejectsUnknownAxes(t *testing.T) {
 	if _, err := Run(Config{Schedules: []string{"nope"}}); err == nil {

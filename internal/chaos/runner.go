@@ -123,6 +123,8 @@ func RunCell(cfg Config, cell Cell) CellResult {
 	}
 
 	basePages, baseSlices := core.CapturePoolStats()
+	baseExt := core.CaptureExtentStats()
+	baseEnc := replica.EncPoolStats()
 	cl, err := buildCluster(cell, cfg.Shards, cfg.RegionBytes)
 	if err != nil {
 		res.fail("build %s topology: %v", cell.Topology, err)
@@ -148,6 +150,12 @@ func RunCell(cfg Config, cell Cell) CellResult {
 	if got, want := endSlices.InUse(), baseSlices.InUse(); got != want {
 		res.fail("leak: capture slice pool in-use %d, was %d at cell start", got, want)
 	}
+	if got, want := core.CaptureExtentStats().InUse(), baseExt.InUse(); got != want {
+		res.fail("leak: diff extent pool in-use %d, was %d at cell start", got, want)
+	}
+	if got, want := replica.EncPoolStats().InUse(), baseEnc.InUse(); got != want {
+		res.fail("leak: delta encoding pool in-use %d, was %d at cell start", got, want)
+	}
 
 	res.Pass = len(res.Violations) == 0
 	return res
@@ -171,9 +179,9 @@ type driver struct {
 	// one synchronous client, a power cut can tear at most the final
 	// commit of each shard, so exactly these keys become uncertain.
 	lastKeyByShard []string
-	pending    []Event
-	drainRound int
-	settleSeq  uint64
+	pending        []Event
+	drainRound     int
+	settleSeq      uint64
 }
 
 // installWindows pre-installs window faults (their injection points

@@ -143,6 +143,25 @@ func Schedules() []Schedule {
 			},
 		},
 		{
+			Name: "diffcrash",
+			Desc: "follower crashes tearing sub-page-patched batch applies (2ms and 6ms) around a link outage; the pre-image hash chain must force replay/snapshot resync, never silent XOR corruption",
+			// The replica topology ships sub-page frames by default, so
+			// each crash tears a µCheckpoint whose pages were assembled
+			// from extent patches and XOR deltas. The rebuilt follower's
+			// torn pages no longer match any shipped pre-image; the
+			// byte-identical-prefix invariant (base-hash validation
+			// before any write) must reject the next XOR frame and drive
+			// catch-up instead of patching a diverged base. The outage
+			// window between the crashes piles up a gap so the second
+			// crash lands on a follower that just resynced.
+			Topos: []Topology{TopoReplica},
+			Events: []Event{
+				{At: 2 * time.Millisecond, Target: TargetFollower, Kind: FaultFollowerCrash},
+				{At: 4 * time.Millisecond, Dur: 1500 * time.Microsecond, Target: TargetLink, Kind: FaultLinkOutage},
+				{At: 6 * time.Millisecond, Target: TargetFollower, Kind: FaultFollowerCrash},
+			},
+		},
+		{
 			Name:  "cutrace",
 			Desc:  "link outage window overlapping a power cut at the same virtual instant (outage 3-5ms, cut at 3ms)",
 			Topos: []Topology{TopoReplica},

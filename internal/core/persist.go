@@ -25,6 +25,12 @@ type Context struct {
 	// committed page so replication can ship the uCheckpoint delta.
 	capture  bool
 	captured []CapturedCommit
+	// prevStores retain the last captured content of each page (one
+	// store per region) so the next capture of that page carries a
+	// pre-image and a byte-range diff; preImageBudget bounds each
+	// store (0: DefaultPreImagePages).
+	prevStores     []*prevStore
+	preImageBudget int
 	// capturedSpare is the second half of the TakeCaptured double
 	// buffer: captures fill one slice while the caller consumes the
 	// other.
@@ -132,9 +138,32 @@ type CommittedPage struct {
 	Index int64
 	Data  []byte
 
-	// pg is the pooled buffer backing Data; nil when Data is an
-	// ordinary heap slice (snapshots, tests).
-	pg *pool.Page
+	// Prev is the page's pre-image — its content as of the previous
+	// captured commit — retained by the capturing context and attached
+	// here at capture time (no re-faulting). Nil when no pre-image was
+	// retained (first capture of the page, a fresh context, or budget
+	// eviction): such a page ships whole.
+	Prev []byte
+
+	// Extents lists the modified byte ranges of Data relative to Prev,
+	// computed at capture. Non-nil exactly when Prev is non-nil; empty
+	// when the page was dirtied but is byte-identical.
+	Extents []Extent
+
+	// pg/prevPg are the pooled buffers backing Data and Prev; nil when
+	// the slices are ordinary heap slices (snapshots, tests).
+	pg     *pool.Page
+	prevPg *pool.Page
+}
+
+// ReleasePre returns the page's pre-image buffer and extent list to
+// their pools, keeping Data intact — for holders that consumed the
+// diff (encoded it for the wire) and no longer need the pre-image.
+func (cp *CommittedPage) ReleasePre() {
+	cp.prevPg.Release()
+	cp.prevPg, cp.Prev = nil, nil
+	ReleaseExtents(cp.Extents)
+	cp.Extents = nil
 }
 
 // CapturedCommit records one region's share of a Persist call: the
@@ -159,6 +188,7 @@ func (ctx *Context) CaptureCommits(on bool) {
 			ctx.captured[i].Release()
 		}
 		ctx.captured = ctx.captured[:0]
+		ctx.dropPreImages()
 	}
 }
 
@@ -384,18 +414,32 @@ func (ctx *Context) Persist(r *Region, flags Flags) (objstore.Epoch, error) {
 	// data stays valid after the checkpoint releases (until the holder
 	// Releases the commit).
 	if ctx.capture {
+		diffBytes := 0
 		for i := 0; i < nrw; i++ {
 			rw := &ctx.rws[i]
 			cc := CapturedCommit{Region: rw.region, Epoch: rw.epoch, Pages: GetCommittedPages(len(rw.blocks))}
+			ps := ctx.prevStoreFor(rw.region)
 			for _, b := range rw.blocks {
 				pg := capturePagePool.Get()
 				data := pg.Data[:len(b.Data)]
 				copy(data, b.Data)
-				cc.Pages = append(cc.Pages, CommittedPage{Index: b.Index, Data: data, pg: pg})
+				cp := CommittedPage{Index: b.Index, Data: data, pg: pg}
+				// Retain a second copy as the next capture's pre-image;
+				// the previously retained copy (if any) becomes THIS
+				// page's pre-image and is diffed on the spot.
+				keep := capturePagePool.Get()
+				copy(keep.Data[:len(b.Data)], b.Data)
+				if prev := ps.swap(b.Index, keep); prev != nil {
+					cp.Prev = prev.Data[:len(b.Data)]
+					cp.prevPg = prev
+					cp.Extents = DiffExtents(cp.Prev, data, GetExtents())
+					diffBytes += len(data)
+				}
+				cc.Pages = append(cc.Pages, cp)
 			}
 			ctx.captured = append(ctx.captured, cc)
 		}
-		clk.Advance(costs.MemcpyCost(len(records) * PageSize))
+		clk.Advance(costs.MemcpyCost(2*len(records)*PageSize) + costs.DiffCost(diffBytes))
 	}
 
 	ctx.Persists++

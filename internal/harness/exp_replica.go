@@ -19,12 +19,13 @@ func Replica(opts Options) (*Result, error) {
 	res := &Result{
 		ID:     "replica",
 		Title:  "Epoch shipping: throughput and lag vs mode x window",
-		Header: []string{"Mode", "Window", "Kops/s", "Commit p50 (us)", "Commit p99 (us)", "Shipped", "Acked", "Ack p99 (us)", "Max lag", "Snapshots"},
+		Header: []string{"Mode", "Window", "Kops/s", "Commit p50 (us)", "Commit p99 (us)", "Shipped", "Acked", "Ack p99 (us)", "Max lag", "Snapshots", "Wire B/txn"},
 		Notes: []string{
 			"4 shards, 2 async clients per shard with 8 outstanding ops each, 75% Add / 25% Get",
 			fmt.Sprintf("%d ops per client (scale %.2f); clean link at default cost model", opts.scaled(200), opts.Scale),
 			"sync mode holds the client ack until the follower ack, so commit latency includes the round trip",
 			"max lag is the largest (primary commit seq - follower acked seq) across shards, sampled before the final flush",
+			"wire B/txn is replication link bytes per write op, with sub-page delta shipping on (the default)",
 		},
 	}
 	for _, mode := range []replica.Mode{replica.Async, replica.Sync} {
@@ -134,12 +135,13 @@ func replicaRun(mode replica.Mode, window int, opts Options) ([]string, error) {
 	}
 	ship.Flush()
 	repStats = ship.Stats()
-	var shipped, acked, snapshots int64
+	var shipped, acked, snapshots, wireBytes int64
 	ackP99 := repStats[0].AckLatency.P99
 	for _, rs := range repStats {
 		shipped += rs.Shipped
 		acked += rs.Acked
 		snapshots += rs.Snapshots
+		wireBytes += rs.WireBytes
 		if rs.AckLatency.P99 > ackP99 {
 			ackP99 = rs.AckLatency.P99
 		}
@@ -156,6 +158,12 @@ func replicaRun(mode replica.Mode, window int, opts Options) ([]string, error) {
 	if mode == replica.Sync {
 		modeName = "sync"
 	}
+	// 3 of every 4 client ops are writes; only those ship deltas.
+	writeTxns := int64(clients) * int64(opsPer) * 3 / 4
+	bytesPerTxn := 0.0
+	if writeTxns > 0 {
+		bytesPerTxn = float64(wireBytes) / float64(writeTxns)
+	}
 	return []string{
 		modeName,
 		fmt.Sprintf("%d", window),
@@ -167,5 +175,6 @@ func replicaRun(mode replica.Mode, window int, opts Options) ([]string, error) {
 		us(ackP99),
 		fmt.Sprintf("%d", maxLag),
 		fmt.Sprintf("%d", snapshots),
+		fmt.Sprintf("%.0f", bytesPerTxn),
 	}, nil
 }

@@ -85,6 +85,9 @@ const (
 	NameApply
 	// NameApplyBatch: follower applying a coalesced run (arg: deltas).
 	NameApplyBatch
+	// NameEncode: sub-page delta encoding of one shipped commit
+	// (arg: encoded wire bytes).
+	NameEncode
 	nameCount
 )
 
@@ -93,6 +96,7 @@ var nameStrings = [nameCount]string{
 	"persist", "reset_tracking", "initiate_writes", "wait_io",
 	"queue_wait", "group_commit",
 	"ship", "ship_batch", "retry", "snapshot", "apply", "apply_batch",
+	"encode",
 }
 
 // String returns the name's trace label.

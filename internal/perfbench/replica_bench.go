@@ -1,0 +1,284 @@
+package perfbench
+
+// Replica wire benchmark: bytes on the replication link per write
+// transaction, with sub-page delta shipping on (the default) and off
+// (Config.FullPages — the pre-diffing baseline). Every number here is
+// virtual-time deterministic — same seed, same workload, same bytes —
+// so BENCH_replica.json is committable and CI gates on the reduction
+// factor, not on runner jitter.
+
+import (
+	"fmt"
+
+	"memsnap/internal/core"
+	"memsnap/internal/replica"
+	"memsnap/internal/shard"
+	"memsnap/internal/workload"
+)
+
+// repShards and repRegionBytes size the benchmark cluster, matching
+// the chaos grid defaults.
+const (
+	repShards      = 2
+	repRegionBytes = int64(1 << 18)
+	repSeed        = uint64(1)
+)
+
+// ReplicaReductionFloor is the committed CI floor for the sub-page
+// bytes-per-transaction win on the write-heavy OLTP workloads: diffing
+// must ship at least 3x fewer bytes than full pages on TATP and TPC-C.
+const ReplicaReductionFloor = 3.0
+
+// ReplicaScenario is one (workload, mode) measurement.
+type ReplicaScenario struct {
+	Workload string `json:"workload"`
+	// Mode is "full" (FullPages baseline) or "diff" (sub-page frames).
+	Mode string `json:"mode"`
+	Ops  int    `json:"ops"`
+	// Txns counts the write transactions (puts, adds, deletes) — the
+	// denominator for the per-transaction numbers.
+	Txns      int64 `json:"write_txns"`
+	WireBytes int64 `json:"wire_bytes"`
+	// BytesPerTxn is the headline number: replication link bytes per
+	// write transaction.
+	BytesPerTxn float64 `json:"bytes_per_txn"`
+	// EncodeUsPerTxn is the virtual encode cost (diff scan + frame
+	// assembly) per write transaction, microseconds.
+	EncodeUsPerTxn float64 `json:"encode_us_per_txn"`
+	DiffSavedBytes int64   `json:"diff_saved_bytes"`
+	Extents        int64   `json:"extents"`
+	// PatchedBytes is the follower-side count of bytes written through
+	// decoded frames — page-sized for full frames, the patched runs for
+	// extent and XOR frames — so diff mode writes far fewer.
+	PatchedBytes int64 `json:"follower_patched_bytes"`
+}
+
+// ReplicaReport is the full replica wire benchmark output.
+type ReplicaReport struct {
+	Note      string            `json:"note"`
+	Scale     float64           `json:"scale"`
+	Scenarios []ReplicaScenario `json:"scenarios"`
+	// Reduction maps workload -> full-pages bytes/txn divided by
+	// sub-page bytes/txn.
+	Reduction map[string]float64 `json:"bytes_per_txn_reduction"`
+}
+
+// ReplicaWorkloads lists the benchmarked workloads in report order.
+func ReplicaWorkloads() []string { return []string{"tatp", "tpcc", "ycsb-a"} }
+
+// RunReplica measures every workload in both modes at the given scale
+// (scale multiplies the op count) and returns the report.
+func RunReplica(scale float64) (*ReplicaReport, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	ops := int(1200 * scale)
+	if ops < 200 {
+		ops = 200
+	}
+	r := &ReplicaReport{
+		Note:      "bytes on the replication link per write txn; see EXPERIMENTS.md (Sub-page delta shipping)",
+		Scale:     scale,
+		Reduction: make(map[string]float64, 3),
+	}
+	for _, wl := range ReplicaWorkloads() {
+		full, err := runReplicaMode(wl, ops, true)
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: %s full-pages: %w", wl, err)
+		}
+		diff, err := runReplicaMode(wl, ops, false)
+		if err != nil {
+			return nil, fmt.Errorf("perfbench: %s diffing: %w", wl, err)
+		}
+		r.Scenarios = append(r.Scenarios, full, diff)
+		if diff.BytesPerTxn > 0 {
+			r.Reduction[wl] = full.BytesPerTxn / diff.BytesPerTxn
+		}
+	}
+	return r, nil
+}
+
+// CheckReplicaCeilings validates the report against the committed
+// floors: the OLTP workloads must hold the 3x reduction, and every
+// workload must at least improve.
+func CheckReplicaCeilings(r *ReplicaReport) error {
+	for _, wl := range ReplicaWorkloads() {
+		red, ok := r.Reduction[wl]
+		if !ok {
+			return fmt.Errorf("perfbench: no reduction measured for %s", wl)
+		}
+		floor := 1.0
+		if wl == "tatp" || wl == "tpcc" {
+			floor = ReplicaReductionFloor
+		}
+		if red < floor {
+			return fmt.Errorf("perfbench: %s bytes/txn reduction %.2fx below the %.1fx floor", wl, red, floor)
+		}
+	}
+	return nil
+}
+
+// runReplicaMode runs one workload through a synchronously replicated
+// two-shard service and aggregates the wire accounting.
+func runReplicaMode(name string, ops int, fullPages bool) (ReplicaScenario, error) {
+	src, err := replicaSource(name, repSeed)
+	if err != nil {
+		return ReplicaScenario{}, err
+	}
+	sysOpts := core.Options{CPUs: repShards, DiskBytesEach: 64 << 20}
+	folSys, err := core.NewSystem(sysOpts)
+	if err != nil {
+		return ReplicaScenario{}, err
+	}
+	link := replica.NewLink(replica.LinkConfig{})
+	fol, err := replica.NewFollower(folSys, replica.FollowerConfig{Shards: repShards, RegionBytes: repRegionBytes})
+	if err != nil {
+		return ReplicaScenario{}, err
+	}
+	ship := replica.NewShipper(link, fol, repShards, replica.Config{Mode: replica.Sync, FullPages: fullPages})
+	sys, err := core.NewSystem(sysOpts)
+	if err != nil {
+		return ReplicaScenario{}, err
+	}
+	svc, err := shard.New(sys, shard.Config{Shards: repShards, RegionBytes: repRegionBytes, Replicator: ship})
+	if err != nil {
+		return ReplicaScenario{}, err
+	}
+	ship.Attach(svc)
+
+	sc := ReplicaScenario{Workload: name, Mode: "full", Ops: ops}
+	if !fullPages {
+		sc.Mode = "diff"
+	}
+	// Warm up to steady state: the first touch of every page ships a
+	// full frame (no pre-image yet), which is cold-start noise, not the
+	// per-transaction wire cost. The counters are snapshotted after the
+	// warmup and subtracted below.
+	warmup := ops/4 + 100
+	for i := 0; i < warmup; i++ {
+		op := src.Next()
+		if r := svc.Do(op); r.Err != nil {
+			return ReplicaScenario{}, fmt.Errorf("warmup op %d (%v %q): %w", i, op.Kind, op.Key, r.Err)
+		}
+	}
+	baseShip := ship.Stats()
+	baseFol := fol.Stats()
+	for i := 0; i < ops; i++ {
+		op := src.Next()
+		if r := svc.Do(op); r.Err != nil {
+			return ReplicaScenario{}, fmt.Errorf("op %d (%v %q): %w", i, op.Kind, op.Key, r.Err)
+		}
+		if op.Kind != shard.OpGet {
+			sc.Txns++
+		}
+	}
+	pd, err := svc.ShardDigests()
+	if err != nil {
+		return ReplicaScenario{}, err
+	}
+	for sh, fd := range fol.Digests() {
+		if fd != pd[sh] {
+			return ReplicaScenario{}, fmt.Errorf("shard %d diverged: primary %#x follower %#x", sh, pd[sh], fd)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		return ReplicaScenario{}, err
+	}
+
+	var encodeUs float64
+	for sh, st := range ship.Stats() {
+		sc.WireBytes += st.WireBytes - baseShip[sh].WireBytes
+		sc.DiffSavedBytes += st.DiffSavedBytes - baseShip[sh].DiffSavedBytes
+		sc.Extents += st.Extents - baseShip[sh].Extents
+		encodeUs += float64((st.EncodeTime - baseShip[sh].EncodeTime).Microseconds())
+	}
+	for sh, st := range fol.Stats() {
+		sc.PatchedBytes += st.PatchedBytes - baseFol[sh].PatchedBytes
+	}
+	if err := ship.Close(); err != nil {
+		return ReplicaScenario{}, err
+	}
+	if sc.Txns > 0 {
+		sc.BytesPerTxn = float64(sc.WireBytes) / float64(sc.Txns)
+		sc.EncodeUsPerTxn = encodeUs / float64(sc.Txns)
+	}
+	return sc, nil
+}
+
+// replicaOpSource is a deterministic stream of shard operations.
+type replicaOpSource interface {
+	Next() shard.Op
+}
+
+// replicaSource builds the named workload generator. The keyspaces
+// mirror the chaos grid's: small enough that writes collide on hot
+// keys and the pre-image store stays within budget.
+func replicaSource(name string, seed uint64) (replicaOpSource, error) {
+	switch name {
+	case "ycsb-a":
+		cfg := workload.YCSBWorkloadA()
+		cfg.Records = 512
+		return &repYCSB{y: workload.NewYCSB(seed, cfg)}, nil
+	case "tatp":
+		return &repTATP{t: workload.NewTATP(seed, 1024)}, nil
+	case "tpcc":
+		return &repTPCC{t: workload.NewTPCC(seed, 4)}, nil
+	}
+	return nil, fmt.Errorf("unknown replica workload %q", name)
+}
+
+type repYCSB struct{ y *workload.YCSB }
+
+func (s *repYCSB) Next() shard.Op {
+	op := s.y.Next()
+	key := fmt.Sprintf("y%06d", op.Key)
+	switch op.Kind {
+	case workload.YCSBRead:
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: key}
+	case workload.YCSBRMW:
+		return shard.Op{Kind: shard.OpAdd, Tenant: "t", Key: key, Value: op.Value}
+	default: // update, insert
+		return shard.Op{Kind: shard.OpPut, Tenant: "t", Key: key, Value: op.Value}
+	}
+}
+
+type repTATP struct{ t *workload.TATP }
+
+func (s *repTATP) Next() shard.Op {
+	tx := s.t.Next()
+	sub := fmt.Sprintf("sub%06d", tx.Subscriber)
+	cf := fmt.Sprintf("cf%06d-%d", tx.Subscriber, tx.AIType)
+	switch tx.Op {
+	case workload.TATPGetSubscriberData, workload.TATPGetAccessData:
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: sub}
+	case workload.TATPGetNewDestination:
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: cf}
+	case workload.TATPUpdateSubscriberData:
+		return shard.Op{Kind: shard.OpPut, Tenant: "t", Key: sub, Value: uint64(tx.AIType)}
+	case workload.TATPUpdateLocation:
+		return shard.Op{Kind: shard.OpPut, Tenant: "t", Key: sub, Value: uint64(tx.Location)}
+	case workload.TATPInsertCallForwarding:
+		return shard.Op{Kind: shard.OpPut, Tenant: "t", Key: cf, Value: uint64(tx.Subscriber) + 1}
+	default: // TATPDeleteCallForwarding
+		return shard.Op{Kind: shard.OpDelete, Tenant: "t", Key: cf}
+	}
+}
+
+type repTPCC struct{ t *workload.TPCC }
+
+func (s *repTPCC) Next() shard.Op {
+	tx := s.t.Next()
+	district := fmt.Sprintf("w%02d-d%02d", tx.Warehouse, tx.District)
+	switch tx.Op {
+	case workload.TPCCNewOrder:
+		return shard.Op{Kind: shard.OpAdd, Tenant: "t", Key: district + "-orders", Value: uint64(len(tx.Items))}
+	case workload.TPCCPayment:
+		return shard.Op{Kind: shard.OpAdd, Tenant: "t", Key: district + "-ytd", Value: uint64(tx.Amount%10000) + 1}
+	case workload.TPCCDelivery:
+		return shard.Op{Kind: shard.OpAdd, Tenant: "t", Key: district + "-delivered", Value: 1}
+	case workload.TPCCOrderStatus:
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: district + "-orders"}
+	default: // TPCCStockLevel
+		return shard.Op{Kind: shard.OpGet, Tenant: "t", Key: district + "-ytd"}
+	}
+}

@@ -1,0 +1,36 @@
+package perfbench
+
+import "testing"
+
+// TestReplicaBenchCeilings runs the replica wire benchmark at a
+// reduced scale and holds it to the committed floors: every workload
+// improves, and the OLTP workloads keep the 3x bytes/txn reduction.
+// The run is virtual-time deterministic, so this is a hard gate, not a
+// flaky perf assertion.
+func TestReplicaBenchCeilings(t *testing.T) {
+	rep, err := RunReplica(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckReplicaCeilings(rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 2*len(ReplicaWorkloads()) {
+		t.Fatalf("%d scenarios, want full+diff per workload", len(rep.Scenarios))
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Txns == 0 || sc.WireBytes == 0 {
+			t.Fatalf("%s/%s measured no write traffic: %+v", sc.Workload, sc.Mode, sc)
+		}
+		switch sc.Mode {
+		case "full":
+			if sc.DiffSavedBytes != 0 || sc.Extents != 0 {
+				t.Fatalf("%s full-pages baseline reports diff stats: %+v", sc.Workload, sc)
+			}
+		case "diff":
+			if sc.DiffSavedBytes == 0 || sc.EncodeUsPerTxn <= 0 {
+				t.Fatalf("%s diff mode reports no encode work: %+v", sc.Workload, sc)
+			}
+		}
+	}
+}

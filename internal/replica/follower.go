@@ -71,8 +71,16 @@ type FollowerShardStats struct {
 	Snapshots  int64
 	// Batches counts coalesced delta runs applied as one uCheckpoint.
 	Batches int64
-	LastSeq uint64
-	Era     uint64
+	// BaseMismatches counts encoded deltas rejected before any write
+	// because an XOR frame's pre-image hash did not match the
+	// follower's page chain — the guard that turns a diverged pre-image
+	// into a full-page replay or snapshot resync instead of silent
+	// corruption. PatchedBytes counts bytes written through sub-page
+	// frames (extent literals and XOR literal runs).
+	BaseMismatches int64
+	PatchedBytes   int64
+	LastSeq        uint64
+	Era            uint64
 }
 
 // Follower is the backup endpoint: it owns a full set of shard
@@ -108,12 +116,132 @@ type followerShard struct {
 	lastSeq uint64
 	era     uint64
 
-	applied    int64
-	duplicates int64
-	gaps       int64
-	stale      int64
-	snapshots  int64
-	batches    int64
+	// valPages is the encoded-apply validation scratch: the per-page
+	// expected-hash chain threaded across one delta or batch (see
+	// validateEnc). Reused between applies.
+	valPages []valPage
+
+	applied      int64
+	duplicates   int64
+	gaps         int64
+	stale        int64
+	snapshots    int64
+	batches      int64
+	baseMismatch int64
+	patchedBytes int64
+}
+
+// valPage tracks one page's expected content hash while validating an
+// encoded delta run: known=false means the page is touched by the run
+// but its resulting hash is unknown (an extents frame, or an unencoded
+// delta's page), so a later XOR frame against it must conservatively
+// reject.
+type valPage struct {
+	index int64
+	hash  uint64
+	known bool
+}
+
+// lookupVal returns the tracked validation entry for a page index.
+//
+//memsnap:hotpath
+func (fs *followerShard) lookupVal(index int64) *valPage {
+	for i := range fs.valPages {
+		if fs.valPages[i].index == index {
+			return &fs.valPages[i]
+		}
+	}
+	return nil
+}
+
+// validateEnc walks one encoded delta's frames, checking every
+// payload's structure and chaining XOR pre-image hashes against the
+// tracked page state — seeded by hashing the live region page on a
+// run's first XOR touch of that page. It returns the number of bytes
+// hashed (the caller charges DiffCost for them) and ok=false when any
+// frame is malformed or an XOR base mismatches; the caller must then
+// reject the whole delta with ApplyGap before writing anything, which
+// forces the shipper into full-page replay or a snapshot resync — a
+// diverged pre-image chain can never be silently patched over.
+//
+//memsnap:hotpath
+func (fs *followerShard) validateEnc(enc []byte) (hashed int, ok bool) {
+	for len(enc) > 0 {
+		fr, rest, err := decodeFrame(enc)
+		if err != nil || checkFrame(core.PageSize, fr) != nil {
+			return hashed, false
+		}
+		enc = rest
+		switch fr.kind {
+		case kindFull:
+			// The frame replaces the page outright; its hash feeds any
+			// later XOR frame on the same page in this run.
+			e := fs.lookupVal(fr.index)
+			if e == nil {
+				fs.valPages = append(fs.valPages, valPage{index: fr.index})
+				e = &fs.valPages[len(fs.valPages)-1]
+			}
+			e.hash, e.known = fnv64(fr.payload), true
+			hashed += len(fr.payload)
+		case kindExtents:
+			// Literal patch: the resulting page hash is not computed, so
+			// mark the page touched-but-unknown.
+			if e := fs.lookupVal(fr.index); e != nil {
+				e.known = false
+			} else {
+				fs.valPages = append(fs.valPages, valPage{index: fr.index})
+			}
+		case kindXorRLE:
+			base, next, okh := xorHashes(fr.payload)
+			if !okh {
+				return hashed, false
+			}
+			e := fs.lookupVal(fr.index)
+			if e == nil {
+				pg := fs.ctx.PageForRead(fs.region, fr.index*core.PageSize)
+				hashed += len(pg)
+				if fnv64(pg) != base {
+					return hashed, false
+				}
+				fs.valPages = append(fs.valPages, valPage{index: fr.index, hash: next, known: true})
+			} else {
+				if !e.known || e.hash != base {
+					return hashed, false
+				}
+				e.hash = next
+			}
+		}
+	}
+	return hashed, true
+}
+
+// trackUnencoded folds an unencoded delta's full pages into the
+// validation chain (batch members built outside the encoder): each
+// page is replaced verbatim, with its resulting hash left unknown.
+func (fs *followerShard) trackUnencoded(pages []core.CommittedPage) {
+	for i := range pages {
+		if e := fs.lookupVal(pages[i].Index); e != nil {
+			e.known = false
+		} else {
+			fs.valPages = append(fs.valPages, valPage{index: pages[i].Index})
+		}
+	}
+}
+
+// patchEnc applies a validated encoding onto the live region pages and
+// returns the bytes written. Frames were structure-checked by
+// validateEnc, so patching cannot fail midway.
+//
+//memsnap:hotpath
+func (fs *followerShard) patchEnc(enc []byte) (written int) {
+	for len(enc) > 0 {
+		var fr frame
+		fr, enc, _ = decodeFrame(enc)
+		page := fs.ctx.PageForWrite(fs.region, fr.index*core.PageSize)
+		n, _ := patchFrame(page[:core.PageSize], fr)
+		written += n
+	}
+	return written
 }
 
 // NewFollower opens a follower over sys. Pre-existing shard regions
@@ -194,8 +322,25 @@ func (f *Follower) Apply(at time.Duration, d *Delta) (time.Duration, ApplyStatus
 		fs.gaps++
 		return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
 	}
-	for _, pg := range d.Pages {
-		fs.ctx.WriteAt(fs.region, pg.Index*core.PageSize, pg.Data)
+	if d.enc != nil {
+		// Sub-page apply: validate the whole encoding — structure plus
+		// XOR pre-image hash chain — before any byte lands, then patch.
+		costs := f.sys.Costs()
+		fs.valPages = fs.valPages[:0]
+		hashed, ok := fs.validateEnc(d.enc)
+		clk.Advance(costs.DiffCost(hashed))
+		if !ok {
+			fs.baseMismatch++
+			fs.gaps++
+			return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
+		}
+		written := fs.patchEnc(d.enc)
+		fs.patchedBytes += int64(written)
+		clk.Advance(costs.MemcpyCost(written))
+	} else {
+		for _, pg := range d.Pages {
+			fs.ctx.WriteAt(fs.region, pg.Index*core.PageSize, pg.Data)
+		}
 	}
 	if _, err := fs.ctx.Persist(fs.region, core.MSSync); err != nil {
 		// The delta did not become durable; report a gap so the
@@ -266,11 +411,43 @@ func (f *Follower) ApplyBatch(at time.Duration, ds []*Delta) (time.Duration, App
 		fs.gaps++
 		return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
 	}
+	// Validate every encoded member's frames — with the XOR pre-image
+	// hash chain threaded across the whole run, since a later delta's
+	// base is an earlier delta's result — before any byte lands.
+	costs := f.sys.Costs()
+	fs.valPages = fs.valPages[:0]
+	hashed := 0
+	valOK := true
 	for _, d := range ds[skip:] {
+		if d.enc == nil {
+			fs.trackUnencoded(d.Pages)
+			continue
+		}
+		h, ok := fs.validateEnc(d.enc)
+		hashed += h
+		if !ok {
+			valOK = false
+			break
+		}
+	}
+	clk.Advance(costs.DiffCost(hashed))
+	if !valOK {
+		fs.baseMismatch++
+		fs.gaps++
+		return clk.Now(), ApplyStatus{Code: ApplyGap, LastSeq: fs.lastSeq}
+	}
+	written := 0
+	for _, d := range ds[skip:] {
+		if d.enc != nil {
+			written += fs.patchEnc(d.enc)
+			continue
+		}
 		for _, pg := range d.Pages {
 			fs.ctx.WriteAt(fs.region, pg.Index*core.PageSize, pg.Data)
 		}
 	}
+	fs.patchedBytes += int64(written)
+	clk.Advance(costs.MemcpyCost(written))
 	if _, err := fs.ctx.Persist(fs.region, core.MSSync); err != nil {
 		// The run did not become durable; report a gap so the shipper
 		// retries from our (unchanged) position.
@@ -360,15 +537,17 @@ func (f *Follower) Stats() []FollowerShardStats {
 	for i, fs := range f.shards {
 		fs.mu.Lock()
 		out[i] = FollowerShardStats{
-			Shard:      i,
-			Applied:    fs.applied,
-			Duplicates: fs.duplicates,
-			Gaps:       fs.gaps,
-			Stale:      fs.stale,
-			Snapshots:  fs.snapshots,
-			Batches:    fs.batches,
-			LastSeq:    fs.lastSeq,
-			Era:        fs.era,
+			Shard:          i,
+			Applied:        fs.applied,
+			Duplicates:     fs.duplicates,
+			Gaps:           fs.gaps,
+			Stale:          fs.stale,
+			Snapshots:      fs.snapshots,
+			Batches:        fs.batches,
+			BaseMismatches: fs.baseMismatch,
+			PatchedBytes:   fs.patchedBytes,
+			LastSeq:        fs.lastSeq,
+			Era:            fs.era,
 		}
 		fs.mu.Unlock()
 	}

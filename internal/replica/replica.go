@@ -62,6 +62,17 @@ type Delta struct {
 	Epoch objstore.Epoch
 	Pages []core.CommittedPage
 
+	// enc is the delta's sub-page wire encoding (see codec.go),
+	// produced exactly once by ShipCommit and cached for the delta's
+	// whole pipeline life — retransmissions, batch assembly and
+	// retained-window replay all reuse these bytes, so WireSize is a
+	// constant of the delta and MaxBatchBytes accounting cannot drift
+	// when the pre-image buffers are released after encoding. nil for
+	// deltas constructed outside the Shipper (tests, perfbench), which
+	// ship with the legacy full-page wire size and are applied from
+	// Pages directly.
+	enc []byte
+
 	// refs counts the pipeline's holders of this delta (the retained
 	// replay window, a queued async job, a replay borrow); pooled marks
 	// Pages as owned capture-pool pages that return to the pool when
@@ -76,10 +87,14 @@ type Delta struct {
 func (d *Delta) retain() { d.refs.Add(1) }
 
 // release drops one pipeline reference; the last one returns pooled
-// pages to the capture pool.
+// pages to the capture pool and the cached encoding to its pool.
 func (d *Delta) release() {
 	if d.refs.Add(-1) != 0 {
 		return
+	}
+	if d.enc != nil {
+		encPool.Put(d.enc)
+		d.enc = nil
 	}
 	if d.pooled {
 		core.ReleasePages(d.Pages)
@@ -95,8 +110,19 @@ const (
 	ackWireBytes   = 32
 )
 
-// WireSize is the delta's size on the link in bytes.
-func (d *Delta) WireSize() int { return msgHeaderBytes + len(d.Pages)*pageWireBytes }
+// WireSize is the delta's size on the link in bytes: the cached
+// sub-page encoding when the delta has been encoded, the legacy
+// full-page framing otherwise. For an encoded delta this is a
+// constant for its whole pipeline life (the encoding is never
+// recomputed), so retry and batch byte accounting cannot drift.
+//
+//memsnap:hotpath
+func (d *Delta) WireSize() int {
+	if d.enc != nil {
+		return msgHeaderBytes + len(d.enc)
+	}
+	return msgHeaderBytes + len(d.Pages)*pageWireBytes
+}
 
 func pagesWireSize(n int) int { return msgHeaderBytes + n*pageWireBytes }
 

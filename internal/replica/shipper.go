@@ -44,9 +44,13 @@ type Config struct {
 	// batching). Only gap-free same-era runs coalesce, so the follower
 	// can validate and persist a batch as a single unit.
 	MaxBatch int
-	// MaxBatchBytes bounds a coalesced message's wire size
-	// (default 256 KiB).
+	// MaxBatchBytes bounds a coalesced message's wire size — the
+	// *encoded* size when sub-page diffing is on (default 256 KiB).
 	MaxBatchBytes int
+	// FullPages disables sub-page delta encoding: every page ships
+	// verbatim, reproducing the pre-diffing wire behavior. The
+	// before/after baseline for bytes-on-link measurements.
+	FullPages bool
 	// Recorder, when set, receives ship/retry/snapshot trace spans on
 	// each shard's sender lane (obs.ShipTrack).
 	Recorder *obs.Recorder
@@ -89,6 +93,13 @@ type ShardRepStats struct {
 	// Batches counts coalesced multi-delta transmissions acked as a
 	// unit; BatchedDeltas counts the deltas they carried.
 	Batches, BatchedDeltas int64
+	// WireBytes counts delta/batch/snapshot payload bytes put on the
+	// link (retransmissions included; acks excluded). DiffSavedBytes
+	// counts wire bytes the sub-page encoding avoided versus full-page
+	// framing, per unique delta; Extents counts byte-range extents
+	// emitted. EncodeTime is the cumulative virtual encode cost.
+	WireBytes, DiffSavedBytes, Extents int64
+	EncodeTime                         time.Duration
 	// LastAckedSeq is the highest sequence number the follower acked.
 	LastAckedSeq uint64
 	// AckLatency summarizes per-delta latency from local durability
@@ -258,6 +269,19 @@ func (s *Shipper) follower() *Follower {
 func (s *Shipper) ShipCommit(shardID int, at time.Duration, c shard.Commit, snap func() shard.Snapshot) (time.Duration, error) {
 	ss := s.shards[shardID]
 	d := &Delta{Shard: shardID, Seq: c.Seq, Era: c.Era, Epoch: c.Epoch, Pages: c.Pages, pooled: c.Owned}
+	// Encode once, before the delta enters the pipeline: the cached
+	// encoding fixes WireSize for the delta's whole life and consumes
+	// the capture-time pre-images, so the retained window holds only
+	// page data plus encoded bytes.
+	if res := d.encode(s.link.costs, s.cfg.FullPages); res.wire > 0 {
+		s.cfg.Recorder.Span(obs.CatReplica, obs.NameEncode, obs.ShipTrack(shardID), at, res.cost, int64(res.wire))
+		at += res.cost
+		ss.mu.Lock()
+		ss.st.DiffSavedBytes += int64(res.saved)
+		ss.st.Extents += int64(res.extents)
+		ss.st.EncodeTime += res.cost
+		ss.mu.Unlock()
+	}
 	ss.retain(d, s.cfg.Window)
 	if s.cfg.Mode == Sync {
 		sendAt := maxd(at, ss.horizon)
@@ -399,6 +423,7 @@ func (s *Shipper) deliverBatch(ss *shipShard, at time.Duration, batch []shipJob)
 	for try := 0; try <= s.cfg.MaxRetries; try++ {
 		ss.mu.Lock()
 		ss.st.Shipped++
+		ss.st.WireBytes += int64(size)
 		if try > 0 {
 			ss.st.Retries++
 		}
@@ -478,11 +503,13 @@ func (s *Shipper) deliver(ss *shipShard, at time.Duration, d *Delta, snapFn func
 		ss.mu.Unlock()
 		return at, ErrNotAttached
 	}
+	size := d.WireSize()
 	sendAt := at
 	last := at
 	for try := 0; try <= s.cfg.MaxRetries; try++ {
 		ss.mu.Lock()
 		ss.st.Shipped++
+		ss.st.WireBytes += int64(size)
 		if try > 0 {
 			ss.st.Retries++
 		}
@@ -490,7 +517,7 @@ func (s *Shipper) deliver(ss *shipShard, at time.Duration, d *Delta, snapFn func
 		if try > 0 {
 			s.cfg.Recorder.Instant(obs.CatReplica, obs.NameRetry, obs.ShipTrack(ss.id), sendAt, int64(try))
 		}
-		arrive, ok := s.link.Deliver(sendAt, d.WireSize())
+		arrive, ok := s.link.Deliver(sendAt, size)
 		last = arrive
 		if !ok {
 			ss.mu.Lock()
@@ -627,6 +654,7 @@ func (s *Shipper) sendSnapshot(ss *shipShard, at time.Duration, snap *shard.Snap
 	last := at
 	for try := 0; try <= s.cfg.MaxRetries; try++ {
 		ss.mu.Lock()
+		ss.st.WireBytes += int64(size)
 		if try > 0 {
 			ss.st.Retries++
 		}

@@ -59,6 +59,14 @@ func (s *Shipper) FormatPrometheus(w io.Writer) error {
 			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Batches) }},
 		{"memsnap_replica_batched_deltas_total", "Deltas carried inside coalesced transmissions.", "counter",
 			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.BatchedDeltas) }},
+		{"memsnap_replica_wire_bytes_total", "Delta, batch and snapshot payload bytes put on the link, retransmissions included.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.WireBytes) }},
+		{"memsnap_replica_diff_saved_bytes_total", "Wire bytes avoided by sub-page delta encoding versus full-page framing.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.DiffSavedBytes) }},
+		{"memsnap_replica_extents_total", "Byte-range extents emitted by the sub-page encoder.", "counter",
+			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.Extents) }},
+		{"memsnap_replica_encode_seconds_total", "Cumulative virtual time spent encoding sub-page deltas.", "counter",
+			func(st *ShardRepStats) string { return promSeconds(st.EncodeTime) }},
 		{"memsnap_replica_last_acked_seq", "Highest sequence number the follower acked.", "gauge",
 			func(st *ShardRepStats) string { return fmt.Sprintf("%d", st.LastAckedSeq) }},
 		{"memsnap_replica_ack_latency_seconds_mean", "Mean durability-to-follower-ack latency (virtual seconds).", "gauge",
@@ -113,6 +121,10 @@ func (f *Follower) FormatPrometheus(w io.Writer) error {
 			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Snapshots) }},
 		{"memsnap_follower_batches_total", "Coalesced delta runs applied as one uCheckpoint.", "counter",
 			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.Batches) }},
+		{"memsnap_follower_base_mismatches_total", "Encoded deltas rejected before writing on an XOR pre-image hash mismatch.", "counter",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.BaseMismatches) }},
+		{"memsnap_follower_patched_bytes_total", "Bytes written through sub-page frames.", "counter",
+			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.PatchedBytes) }},
 		{"memsnap_follower_last_seq", "Last fully applied sequence number.", "gauge",
 			func(st *FollowerShardStats) string { return fmt.Sprintf("%d", st.LastSeq) }},
 		{"memsnap_follower_era", "Replication era the shard follows.", "gauge",

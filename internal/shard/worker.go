@@ -79,6 +79,9 @@ type pendingBatch struct {
 // from the paper's API, lifted to group commits.
 func (sh *shard) run() {
 	defer sh.svc.wg.Done()
+	// After the shutdown drain, return the retained pre-image pages
+	// (and any undelivered captures) to the capture pools.
+	defer sh.ctx.CaptureCommits(false)
 	var inflight *pendingBatch
 	for {
 		var first *request

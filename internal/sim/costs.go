@@ -56,6 +56,13 @@ type CostModel struct {
 	// MemcpyPerKiB is the cost of copying one KiB of memory.
 	MemcpyPerKiB time.Duration
 
+	// DiffPerKiB is the cost of byte-wise scanning one KiB of memory on
+	// the replication path: pre-image comparison when a captured page is
+	// diffed, the XOR/RLE encoding pass, and the follower's pre-image
+	// hash validation. Scans are read-mostly and SIMD-friendly, so the
+	// default is cheaper than a copy.
+	DiffPerKiB time.Duration
+
 	// FrameAlloc is the cost of allocating one physical frame.
 	FrameAlloc time.Duration
 
@@ -202,6 +209,7 @@ func DefaultCosts() *CostModel {
 		TLBFullFlush:          2 * time.Microsecond,
 		TLBFlushThreshold:     32,
 		MemcpyPerKiB:          45 * time.Nanosecond,
+		DiffPerKiB:            30 * time.Nanosecond,
 		FrameAlloc:            180 * time.Nanosecond,
 		ThreadStop:            2200 * time.Nanosecond,
 		ThreadResume:          900 * time.Nanosecond,
@@ -261,6 +269,12 @@ func (m *CostModel) IOCost(n int) time.Duration {
 // MemcpyCost returns the cost of copying n bytes.
 func (m *CostModel) MemcpyCost(n int) time.Duration {
 	return time.Duration(int64(n) * int64(m.MemcpyPerKiB) / 1024)
+}
+
+// DiffCost returns the cost of byte-wise scanning n bytes (pre-image
+// diffing, XOR/RLE encoding, hash validation).
+func (m *CostModel) DiffCost(n int) time.Duration {
+	return time.Duration(int64(n) * int64(m.DiffPerKiB) / 1024)
 }
 
 // linkPerBytePicos is the replication link's per-byte transfer cost in

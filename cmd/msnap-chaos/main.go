@@ -10,6 +10,7 @@
 //	msnap-chaos -workload tpcc -minops 800
 //	msnap-chaos -json -out chaos.json           # machine-readable matrix
 //	msnap-chaos -cell 'seed=7/sched=cutrace/topo=replica'   # reproduce one cell
+//	msnap-chaos -bundle-dir flight/             # flight bundle per failing cell
 //	msnap-chaos -list                           # print grid axes
 //
 // Every failure prints its cell ID; feeding that ID back via -cell
@@ -36,6 +37,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable matrix report")
 	out := flag.String("out", "", "write the report to a file instead of stdout")
 	cellID := flag.String("cell", "", "run a single cell by ID (seed=S/sched=NAME/topo=T)")
+	bundleDir := flag.String("bundle-dir", "", "write each failing cell's flight-recorder bundle into this directory")
 	list := flag.Bool("list", false, "list grid axes and exit")
 	flag.Parse()
 
@@ -50,9 +52,15 @@ func main() {
 	}
 
 	cfg := chaos.Config{
-		Workload: *workloadName,
-		Shards:   *shards,
-		MinOps:   *minOps,
+		Workload:  *workloadName,
+		Shards:    *shards,
+		MinOps:    *minOps,
+		BundleDir: *bundleDir,
+	}
+	if *bundleDir != "" {
+		if err := os.MkdirAll(*bundleDir, 0o755); err != nil {
+			fatalf("bundle dir: %v", err)
+		}
 	}
 	for _, s := range splitList(*seeds) {
 		n, err := strconv.ParseUint(s, 10, 64)

@@ -16,6 +16,14 @@
 // measured window and -max-allocs-per-op can gate CI on the per-op
 // allocation ceiling. Latencies are wall-clock: this tool measures the
 // real service boundary, not the simulation inside it.
+//
+// With -sample N, one in N requests carries wire trace context; the
+// client records its round-trip spans and -trace-out writes them as
+// Chrome trace-event JSON. Against an external msnap-serve the server
+// half of each sampled flow shows up in that server's /tracez, sharing
+// the flow ids; in -spawn mode both halves land in one document.
+// Tenant popularity is zipfian (like keys), so the server's /topz
+// ranking has real skew to rank.
 package main
 
 import (
@@ -49,6 +57,7 @@ type config struct {
 	Theta    float64 `json:"theta"`
 	Seed     uint64  `json:"seed"`
 	Shards   int     `json:"shards"`
+	Sample   int     `json:"sample,omitempty"`
 }
 
 type latencyUs struct {
@@ -94,6 +103,8 @@ func run() int {
 	flag.Float64Var(&cfg.Theta, "theta", 0.99, "zipfian skew (0 < theta < 1)")
 	flag.Uint64Var(&cfg.Seed, "seed", 1, "workload RNG seed")
 	flag.IntVar(&cfg.Shards, "shards", 8, "shard count (-spawn mode)")
+	flag.IntVar(&cfg.Sample, "sample", 0, "trace-sample one in N requests onto the wire (0: tracing off)")
+	traceOut := flag.String("trace-out", "", "write the client-side trace (Chrome trace-event JSON) to this path")
 	out := flag.String("out", "", "write a JSON report to this path")
 	maxAllocs := flag.Float64("max-allocs-per-op", 0,
 		"fail when -spawn steady-state allocations/op exceed this ceiling (0: no gate)")
@@ -102,6 +113,14 @@ func run() int {
 	if cfg.Spawn == (cfg.Addr != "") {
 		fmt.Fprintln(os.Stderr, "msnap-load: exactly one of -addr or -spawn is required")
 		return 2
+	}
+
+	// One recorder for the run: the clients' round-trip lanes, plus —
+	// in -spawn mode — the in-process server's net and shard lanes, so
+	// a single -trace-out document holds the whole stitched flow.
+	var rec *obs.Recorder
+	if cfg.Sample > 0 {
+		rec = obs.NewRecorder(1 << 16)
 	}
 
 	addr := cfg.Addr
@@ -113,12 +132,12 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
 			return 1
 		}
-		svc, err = shard.New(sys, shard.Config{Shards: cfg.Shards})
+		svc, err = shard.New(sys, shard.Config{Shards: cfg.Shards, Recorder: rec})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
 			return 1
 		}
-		srv, err = netsvc.Serve("127.0.0.1:0", svc, netsvc.Config{MaxInFlight: cfg.Pipeline})
+		srv, err = netsvc.Serve("127.0.0.1:0", svc, netsvc.Config{MaxInFlight: cfg.Pipeline, Recorder: rec})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
 			return 1
@@ -136,6 +155,28 @@ func run() int {
 			c.Close()
 		}
 	}()
+
+	// Client-side trace sampling: one shared sampler (so the effective
+	// rate is one in N across the whole run), each client on its own
+	// lane. Span timestamps are wall time since the run started — the
+	// client has no virtual clock.
+	if cfg.Sample > 0 {
+		sampler := obs.NewSampler(cfg.Seed, cfg.Sample)
+		epoch := time.Now() //lint:allow walltime client trace timeline origin
+		now := func() time.Duration {
+			return time.Since(epoch) //lint:allow walltime client trace timestamps
+		}
+		if svc != nil {
+			// -spawn: the service's virtual clock is in-process, so the
+			// client lanes can share the server lanes' timeline.
+			now = svc.EndTime
+		}
+		for i, c := range clients {
+			c.EnableTracing(netsvc.Tracing{
+				Recorder: rec, Sampler: sampler, Now: now, Track: obs.ClientTrack(i),
+			})
+		}
+	}
 
 	// Pre-built workload vocabulary: all key/tenant bytes exist before
 	// the measured window, keeping the client's own allocations out of
@@ -237,6 +278,23 @@ func run() int {
 			return 1
 		}
 	}
+	if *traceOut != "" && rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
+			return 1
+		}
+		if err := obs.WriteTrace(f, rec.Drain()); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "msnap-load: trace: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-load: %v\n", err)
+			return 1
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
 	if cfg.Spawn && *maxAllocs > 0 && res.ServerAllocsPerOp > *maxAllocs {
 		fmt.Fprintf(os.Stderr, "msnap-load: steady-state %.2f allocs/op exceed the ceiling %.2f/op\n",
 			res.ServerAllocsPerOp, *maxAllocs)
@@ -278,6 +336,10 @@ func drive(clients []*netsvc.Client, cfg config, tenants, keys [][]byte, zipf *s
 	var counter atomic.Int64
 	var wg sync.WaitGroup
 	var failed atomic.Int64
+	// Tenant popularity is zipfian too (same theta as the key space):
+	// real multi-tenant load is skewed, and the skew is what the
+	// server-side top-K attribution sketch is built to rank.
+	tzipf := sim.NewZipf(int64(cfg.Tenants), cfg.Theta)
 	for ci, c := range clients {
 		for p := 0; p < cfg.Pipeline; p++ {
 			wg.Add(1)
@@ -287,7 +349,7 @@ func drive(clients []*netsvc.Client, cfg config, tenants, keys [][]byte, zipf *s
 				var q proto.Request
 				for counter.Add(1) <= total {
 					q = proto.Request{
-						Tenant: tenants[rng.Intn(len(tenants))],
+						Tenant: tenants[tzipf.Next(rng)],
 						Key:    keys[zipf.Next(rng)],
 					}
 					if rng.Intn(100) < cfg.GetPct {

@@ -6,14 +6,20 @@
 // Usage:
 //
 //	msnap-serve [-addr HOST:PORT] [-obs HOST:PORT] [-shards N]
-//	            [-queue N] [-batch N] [-inflight N]
+//	            [-queue N] [-batch N] [-inflight N] [-flight PATH]
 //
 // The data plane listens on -addr. With -obs set, the observability
 // endpoint from internal/obs also comes up, serving combined shard +
-// network metrics on /metricz, JSON state on /varz and the lifecycle
-// trace on /tracez. SIGINT/SIGTERM trigger a graceful drain: the
-// server stops accepting, completes every in-flight pipelined request
-// with its real durable outcome, then closes the shard service.
+// network + per-tenant metrics on /metricz, JSON state on /varz, the
+// lifecycle trace on /tracez, liveness on /healthz and the tenant
+// top-K on /topz. Requests arriving with wire trace context (sampled
+// by a tracing client) record net-lane spans into the shared ring, so
+// /tracez stitches client-visible requests into the shard and replica
+// lanes. SIGINT/SIGTERM trigger a graceful drain: /healthz flips to
+// draining, the server stops accepting, completes every in-flight
+// pipelined request with its real durable outcome, then closes the
+// shard service. With -flight set, a flight-recorder bundle is written
+// there on shutdown — and on panic, before the process dies.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 
 	"memsnap/internal/core"
@@ -39,6 +46,7 @@ func run() int {
 	queue := flag.Int("queue", 256, "per-shard request queue depth")
 	batch := flag.Int("batch", 16, "max write ops per group commit")
 	inflight := flag.Int("inflight", 64, "per-connection pipeline bound")
+	flight := flag.String("flight", "", "write a flight-recorder bundle here on shutdown and panic (empty: disabled)")
 	flag.Parse()
 
 	sys, err := core.NewSystem(core.Options{CPUs: *shards, DiskBytesEach: 512 << 20})
@@ -46,37 +54,76 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "msnap-serve: %v\n", err)
 		return 1
 	}
-	rec := obs.NewRecorder(4096)
+	rec := obs.NewRecorder(1 << 14)
+	sketch := obs.NewTenantSketch(obs.DefaultTenantTopK)
 	svc, err := shard.New(sys, shard.Config{
 		Shards: *shards, QueueDepth: *queue, BatchSize: *batch, Recorder: rec,
+		Tenants: sketch,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "msnap-serve: %v\n", err)
 		return 1
 	}
-	srv, err := netsvc.Serve(*addr, svc, netsvc.Config{MaxInFlight: *inflight})
+	srv, err := netsvc.Serve(*addr, svc, netsvc.Config{MaxInFlight: *inflight, Recorder: rec})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "msnap-serve: %v\n", err)
 		return 1
 	}
 	fmt.Printf("msnap-serve: data plane on %s (%d shards)\n", srv.Addr(), *shards)
 
+	metrics := func(w io.Writer) error {
+		if err := svc.FormatPrometheus(w); err != nil {
+			return err
+		}
+		if err := srv.FormatPrometheus(w); err != nil {
+			return err
+		}
+		return sketch.WriteProm(w)
+	}
+	vars := func() any {
+		return struct {
+			Net     netsvc.Stats       `json:"net"`
+			Shards  []shard.ShardStats `json:"shards"`
+			Tenants []obs.TenantStat   `json:"tenants"`
+		}{srv.Stats(), svc.Stats(), sketch.Top()}
+	}
+	writeFlight := func(reason string) {
+		if *flight == "" {
+			return
+		}
+		b := obs.Bundle{
+			Reason: reason, VirtualNow: svc.EndTime(),
+			Vars: vars(), Metrics: metrics, Recorder: rec,
+		}
+		if err := obs.WriteBundleFile(*flight, b); err != nil {
+			fmt.Fprintf(os.Stderr, "msnap-serve: flight bundle: %v\n", err)
+			return
+		}
+		fmt.Printf("msnap-serve: flight bundle written to %s\n", *flight)
+	}
+	// The black-box contract: if serving panics, the bundle still gets
+	// written before the process dies.
+	defer func() {
+		if p := recover(); p != nil {
+			writeFlight(fmt.Sprintf("panic: %v", p))
+			panic(p)
+		}
+	}()
+
+	var draining atomic.Bool
 	var osrv *obs.Server
 	if *obsAddr != "" {
 		osrv, err = obs.Serve(*obsAddr, obs.ServerSources{
-			Metrics: func(w io.Writer) error {
-				if err := svc.FormatPrometheus(w); err != nil {
-					return err
+			Metrics: metrics,
+			Vars:    vars,
+			Trace:   rec.Drain,
+			Health: func() (bool, string) {
+				if draining.Load() {
+					return false, "draining"
 				}
-				return srv.FormatPrometheus(w)
+				return true, "serving"
 			},
-			Vars: func() any {
-				return struct {
-					Net    netsvc.Stats       `json:"net"`
-					Shards []shard.ShardStats `json:"shards"`
-				}{srv.Stats(), svc.Stats()}
-			},
-			Trace: rec.Drain,
+			TopK: sketch.Top,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "msnap-serve: %v\n", err)
@@ -89,8 +136,10 @@ func run() int {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
-	// Graceful drain: data plane first (completes every admitted
-	// request), then the shard service, then observability.
+	// Graceful drain: flip /healthz to draining, then data plane first
+	// (completes every admitted request), then the shard service, then
+	// observability — so the endpoint answers 503 while draining.
+	draining.Store(true)
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "msnap-serve: drain: %v\n", err)
 		return 1
@@ -99,6 +148,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "msnap-serve: close: %v\n", err)
 		return 1
 	}
+	writeFlight("SIGTERM: graceful drain complete")
 	if osrv != nil {
 		osrv.Close()
 	}

@@ -48,6 +48,7 @@ func run() int {
 	keys := flag.Int("keys", 512, "key-space size per tenant")
 	seed := flag.Uint64("seed", 1, "workload RNG seed")
 	ring := flag.Int("ring", 1<<16, "trace ring capacity in events")
+	sample := flag.Int("sample", 64, "trace-sample one in N workload writes into request flows (0: off)")
 	out := flag.String("out", "trace.json", "trace output path (empty: skip the file)")
 	listen := flag.String("listen", "127.0.0.1:0", "observability endpoint address (-smoke/-serve)")
 	smoke := flag.Bool("smoke", false, "serve the endpoint, self-scrape and validate /metricz, /varz and /tracez, then exit")
@@ -77,7 +78,8 @@ func run() int {
 		return 1
 	}
 	ship := replica.NewShipper(link, fol, *shards, replica.Config{Mode: replica.Async, Recorder: rec})
-	svc, err := shard.New(sysA, shard.Config{Shards: *shards, Replicator: ship, Recorder: rec})
+	sketch := obs.NewTenantSketch(obs.DefaultTenantTopK)
+	svc, err := shard.New(sysA, shard.Config{Shards: *shards, Replicator: ship, Recorder: rec, Tenants: sketch})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "msnap-trace: service: %v\n", err)
 		return 1
@@ -86,7 +88,11 @@ func run() int {
 	defer svc.Close()
 	defer ship.Close()
 
-	runWorkload(svc, *clients, *ops, *keys, *seed)
+	var sampler *obs.Sampler
+	if *sample > 0 {
+		sampler = obs.NewSampler(*seed, *sample)
+	}
+	runWorkload(svc, *clients, *ops, *keys, *seed, sampler)
 
 	total := svc.TotalStats()
 	fmt.Printf("workload done: %d ops, %d commits, %d trace events recorded (%d dropped)\n",
@@ -105,7 +111,10 @@ func run() int {
 			if err := ship.FormatPrometheus(w); err != nil {
 				return err
 			}
-			return fol.FormatPrometheus(w)
+			if err := fol.FormatPrometheus(w); err != nil {
+				return err
+			}
+			return sketch.WriteProm(w)
 		},
 		Vars: func() any {
 			return map[string]any{
@@ -113,10 +122,12 @@ func run() int {
 				"shards":      svc.Stats(),
 				"replication": ship.Stats(),
 				"follower":    fol.Stats(),
+				"tenants":     sketch.Top(),
 			}
 		},
 		Trace: rec.Drain,
 		Clock: bclk,
+		TopK:  sketch.Top,
 	}
 
 	switch {
@@ -154,8 +165,10 @@ func run() int {
 }
 
 // runWorkload drives clients concurrent goroutines of mixed
-// put/add/get traffic over a deterministic key walk.
-func runWorkload(svc *shard.Service, clients, ops, keys int, seed uint64) {
+// put/add/get traffic over a deterministic key walk. When sampler is
+// set, sampled writes carry a trace id so their commit, ship and apply
+// spans stitch into request flows.
+func runWorkload(svc *shard.Service, clients, ops, keys int, seed uint64, sampler *obs.Sampler) {
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -171,7 +184,12 @@ func runWorkload(svc *shard.Service, clients, ops, keys int, seed uint64) {
 				case 1:
 					svc.Add(tenant, key, uint64(i%7+1))
 				default:
-					svc.Put(tenant, key, uint64(c)<<32|uint64(i))
+					op := shard.Op{Kind: shard.OpPut, Tenant: tenant, Key: key,
+						Value: uint64(c)<<32 | uint64(i)}
+					if id, ok := sampler.Sample(); ok {
+						op.TraceID = id
+					}
+					svc.Do(op)
 				}
 			}
 		}(c)
@@ -204,6 +222,8 @@ func runSmoke(listen string, src obs.ServerSources, out string) int {
 		"memsnap_shard_persist_latency_seconds_count",
 		"memsnap_obs_events_recorded_total",
 		"memsnap_replica_ack_latency_seconds_count",
+		"memsnap_tenant_ops",
+		"memsnap_tenant_wire_bytes",
 	} {
 		if !bytes.Contains(metrics, []byte(want)) {
 			return fail("/metricz missing series %s", want)
@@ -227,6 +247,31 @@ func runSmoke(listen string, src obs.ServerSources, out string) int {
 	}
 	fmt.Printf("smoke: /varz ok (virtual now %.6fs)\n", vdoc.VirtualSeconds)
 
+	code, health, err := get(srv.Addr(), "/healthz")
+	if err != nil || code != 200 {
+		return fail("/healthz: code %d err %v", code, err)
+	}
+	fmt.Printf("smoke: /healthz ok (%s)\n", bytes.TrimSpace(health))
+
+	code, topz, err := get(srv.Addr(), "/topz")
+	if err != nil || code != 200 {
+		return fail("/topz: code %d err %v", code, err)
+	}
+	var topdoc struct {
+		Tenants []struct {
+			Tenant string `json:"tenant"`
+			Ops    uint64 `json:"ops"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(topz, &topdoc); err != nil {
+		return fail("/topz is not valid JSON: %v", err)
+	}
+	if len(topdoc.Tenants) == 0 || topdoc.Tenants[0].Ops == 0 {
+		return fail("/topz ranked no tenant activity: %s", topz)
+	}
+	fmt.Printf("smoke: /topz ok (%d tenants, top %q with %d ops)\n",
+		len(topdoc.Tenants), topdoc.Tenants[0].Tenant, topdoc.Tenants[0].Ops)
+
 	code, trace, err := get(srv.Addr(), "/tracez")
 	if err != nil || code != 200 {
 		return fail("/tracez: code %d err %v", code, err)
@@ -242,9 +287,14 @@ func runSmoke(listen string, src obs.ServerSources, out string) int {
 		return fail("/tracez drained no events")
 	}
 	lanes := map[string]bool{}
+	flows := map[string][]string{}
 	for _, ev := range tdoc.TraceEvents {
 		if cat, ok := ev["cat"].(string); ok {
 			lanes[cat] = true
+		}
+		if ph, _ := ev["ph"].(string); ph == "s" || ph == "t" || ph == "f" {
+			id, _ := ev["id"].(string)
+			flows[id] = append(flows[id], ph)
 		}
 	}
 	for _, want := range []string{"vm", "persist", "shard", "replica"} {
@@ -252,7 +302,16 @@ func runSmoke(listen string, src obs.ServerSources, out string) int {
 			return fail("/tracez missing %q events (have %v)", want, lanes)
 		}
 	}
-	fmt.Printf("smoke: /tracez ok (%d events across %d categories)\n", len(tdoc.TraceEvents), len(lanes))
+	if len(flows) == 0 {
+		return fail("/tracez has no request flow events (sampling should have tagged some commits)")
+	}
+	for id, phases := range flows {
+		if phases[0] != "s" || phases[len(phases)-1] != "f" {
+			return fail("/tracez flow %s malformed: %v", id, phases)
+		}
+	}
+	fmt.Printf("smoke: /tracez ok (%d events across %d categories, %d request flows)\n",
+		len(tdoc.TraceEvents), len(lanes), len(flows))
 
 	if out != "" {
 		if err := os.WriteFile(out, trace, 0o644); err != nil {

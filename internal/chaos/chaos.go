@@ -147,6 +147,10 @@ type CellResult struct {
 	// schedules with pipelined concurrency (drain), where batching
 	// composition — but never surviving state — varies.
 	VirtualEnd time.Duration `json:"virtual_end"`
+	// BundlePath is where the cell's flight-recorder bundle was
+	// written (failing cells only, and only when Config.BundleDir is
+	// set).
+	BundlePath string `json:"bundle_path,omitempty"`
 }
 
 // fail appends a formatted violation.

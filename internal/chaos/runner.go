@@ -32,6 +32,11 @@ type Config struct {
 	// MinOps is the per-cell workload op floor (default 400); a cell
 	// runs until it reaches MinOps and every scheduled fault fired.
 	MinOps int
+	// BundleDir, when non-empty, makes every failing cell write a
+	// flight-recorder bundle (the cell's trace ring, stats and final
+	// metrics — see obs.WriteBundle) into this directory, named after
+	// the cell ID; CellResult.BundlePath records where.
+	BundleDir string
 }
 
 func (c *Config) fill() {
@@ -158,6 +163,9 @@ func RunCell(cfg Config, cell Cell) CellResult {
 	}
 
 	res.Pass = len(res.Violations) == 0
+	if !res.Pass && cfg.BundleDir != "" {
+		writeCellBundle(cfg.BundleDir, cl, &res)
+	}
 	return res
 }
 

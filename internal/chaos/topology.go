@@ -6,6 +6,7 @@ import (
 
 	"memsnap/internal/core"
 	"memsnap/internal/netsvc"
+	"memsnap/internal/obs"
 	"memsnap/internal/proto"
 	"memsnap/internal/replica"
 	"memsnap/internal/shard"
@@ -25,6 +26,11 @@ type cluster struct {
 
 	sys *core.System
 	svc *shard.Service
+
+	// rec is the cell's flight-recorder ring, shared by every lane the
+	// topology has (shard workers, shipper, follower, net edge) so a
+	// failing cell's bundle holds the whole recent cross-lane history.
+	rec *obs.Recorder
 
 	// Replica topology.
 	folSys *core.System
@@ -52,6 +58,7 @@ func (cl *cluster) shardConfig(startAt time.Duration) shard.Config {
 		RegionBytes: cl.regionBytes,
 		BatchSize:   cl.batch,
 		StartAt:     startAt,
+		Recorder:    cl.rec,
 	}
 	if cl.ship != nil {
 		cfg.Replicator = cl.ship
@@ -68,6 +75,7 @@ func buildCluster(cell Cell, shards int, regionBytes int64) (*cluster, error) {
 		regionBytes: regionBytes,
 		batch:       4,
 		sysOpts:     core.Options{CPUs: shards, Disks: 2, DiskBytesEach: 64 << 20},
+		rec:         obs.NewRecorder(flightRingEvents),
 	}
 	var err error
 	if cl.sys, err = core.NewSystem(cl.sysOpts); err != nil {
@@ -79,12 +87,12 @@ func buildCluster(cell Cell, shards int, regionBytes int64) (*cluster, error) {
 		}
 		cl.link = replica.NewLink(replica.LinkConfig{Seed: cell.Seed})
 		cl.fol, err = replica.NewFollower(cl.folSys, replica.FollowerConfig{
-			Shards: shards, RegionBytes: regionBytes,
+			Shards: shards, RegionBytes: regionBytes, Recorder: cl.rec,
 		})
 		if err != nil {
 			return nil, err
 		}
-		cl.ship = replica.NewShipper(cl.link, cl.fol, shards, replica.Config{Mode: replica.Sync})
+		cl.ship = replica.NewShipper(cl.link, cl.fol, shards, replica.Config{Mode: replica.Sync, Recorder: cl.rec})
 	}
 	if cl.svc, err = shard.New(cl.sys, cl.shardConfig(0)); err != nil {
 		return nil, err
@@ -93,7 +101,7 @@ func buildCluster(cell Cell, shards int, regionBytes int64) (*cluster, error) {
 		cl.ship.Attach(cl.svc)
 	}
 	if cell.Topology == TopoNet {
-		if cl.srv, err = netsvc.Serve("127.0.0.1:0", cl.svc, netsvc.Config{}); err != nil {
+		if cl.srv, err = netsvc.Serve("127.0.0.1:0", cl.svc, netsvc.Config{Recorder: cl.rec}); err != nil {
 			return nil, err
 		}
 		if cl.cli, err = netsvc.Dial(cl.srv.Addr(), 8); err != nil {
@@ -208,8 +216,8 @@ func (cl *cluster) failover(ev Event, res *CellResult) error {
 	cutAt := cl.cutPrimary(ev.At, 0x1)
 	cl.ship.Close()
 
-	ship2 := replica.NewShipper(cl.link, nil, cl.shards, replica.Config{Mode: replica.Sync})
-	svc2, err := cl.fol.Promote(shard.Config{BatchSize: cl.batch, Replicator: ship2})
+	ship2 := replica.NewShipper(cl.link, nil, cl.shards, replica.Config{Mode: replica.Sync, Recorder: cl.rec})
+	svc2, err := cl.fol.Promote(shard.Config{BatchSize: cl.batch, Replicator: ship2, Recorder: cl.rec})
 	if err != nil {
 		return fmt.Errorf("promote follower: %w", err)
 	}
@@ -227,7 +235,7 @@ func (cl *cluster) failover(ev Event, res *CellResult) error {
 		return fmt.Errorf("recover ex-primary: %w", err)
 	}
 	fol2, err := replica.NewFollower(exSys, replica.FollowerConfig{
-		Shards: cl.shards, RegionBytes: cl.regionBytes, StartAt: doneAt,
+		Shards: cl.shards, RegionBytes: cl.regionBytes, StartAt: doneAt, Recorder: cl.rec,
 	})
 	if err != nil {
 		return fmt.Errorf("rejoin ex-primary: %w", err)
@@ -270,7 +278,7 @@ func (cl *cluster) crashFollower(res *CellResult) error {
 		return fmt.Errorf("recover follower: %w", err)
 	}
 	fol2, err := replica.NewFollower(sys2, replica.FollowerConfig{
-		Shards: cl.shards, RegionBytes: cl.regionBytes, StartAt: doneAt,
+		Shards: cl.shards, RegionBytes: cl.regionBytes, StartAt: doneAt, Recorder: cl.rec,
 	})
 	if err != nil {
 		return fmt.Errorf("rebuild follower: %w", err)

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"memsnap/internal/obs"
 	"memsnap/internal/proto"
 	"memsnap/internal/shard"
 )
@@ -19,17 +20,13 @@ import (
 // leaves headroom for runtime noise, not for regressions.
 const maxAllocsPerOp = 24
 
-// TestSteadyStateAllocsPerOp pins the per-op allocation budget of the
-// whole serving path: a put/get mix over a real loopback connection,
-// measured with runtime.MemStats after a warmup that populates the
-// intern tables and pools.
-func TestSteadyStateAllocsPerOp(t *testing.T) {
-	if testing.Short() {
-		t.Skip("allocation measurement")
-	}
-	svc := newService(t, shard.Config{Shards: 4})
+// measureAllocsPerOp runs a warmed-up put/get mix through a loopback
+// server and returns the steady-state whole-process allocations per op.
+func measureAllocsPerOp(t *testing.T, svcCfg shard.Config, srvCfg Config, tune func(*shard.Service, *Client)) float64 {
+	t.Helper()
+	svc := newService(t, svcCfg)
 	defer svc.Close()
-	srv := startServer(t, svc, Config{})
+	srv := startServer(t, svc, srvCfg)
 	defer srv.Close()
 
 	c, err := Dial(srv.Addr(), 4)
@@ -37,6 +34,9 @@ func TestSteadyStateAllocsPerOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	if tune != nil {
+		tune(svc, c)
+	}
 
 	const keys = 64
 	tenants := [][]byte{[]byte("acme"), []byte("globex")}
@@ -74,7 +74,49 @@ func TestSteadyStateAllocsPerOp(t *testing.T) {
 	runtime.ReadMemStats(&m1)
 	perOp := float64(m1.Mallocs-m0.Mallocs) / ops
 	t.Logf("steady-state allocations: %.2f/op (%d ops)", perOp, ops)
+	return perOp
+}
+
+// TestSteadyStateAllocsPerOp pins the per-op allocation budget of the
+// whole serving path: a put/get mix over a real loopback connection,
+// measured with runtime.MemStats after a warmup that populates the
+// intern tables and pools.
+func TestSteadyStateAllocsPerOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	perOp := measureAllocsPerOp(t, shard.Config{Shards: 4}, Config{}, nil)
 	if perOp > maxAllocsPerOp {
 		t.Fatalf("steady-state allocations %.2f/op exceed the ceiling %d/op", perOp, maxAllocsPerOp)
+	}
+}
+
+// TestSteadyStateAllocsPerOpObserved pins that the observability added
+// to the serving path rides under the same ceiling: trace sampling at
+// the default rate (client and server recorders armed) and per-tenant
+// attribution on every commit. The sketch's Observe runs on every op;
+// the trace path triggers only ~ops/DefaultSampleRate times — neither
+// may move the steady-state budget.
+func TestSteadyStateAllocsPerOpObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	rec := obs.NewRecorder(1 << 14)
+	svcCfg := shard.Config{
+		Shards:   4,
+		Recorder: rec,
+		Tenants:  obs.NewTenantSketch(obs.DefaultTenantTopK),
+	}
+	tune := func(svc *shard.Service, c *Client) {
+		c.EnableTracing(Tracing{
+			Recorder: rec,
+			Sampler:  obs.NewSampler(1, obs.DefaultSampleRate),
+			Now:      svc.EndTime,
+			Track:    obs.ClientTrack(0),
+		})
+	}
+	perOp := measureAllocsPerOp(t, svcCfg, Config{Recorder: rec}, tune)
+	if perOp > maxAllocsPerOp {
+		t.Fatalf("sampled steady-state allocations %.2f/op exceed the ceiling %d/op", perOp, maxAllocsPerOp)
 	}
 }

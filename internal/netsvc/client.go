@@ -7,11 +7,26 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memsnap/internal/obs"
 	"memsnap/internal/proto"
 )
 
 // ErrClientClosed is returned by Do once the connection is gone.
 var ErrClientClosed = errors.New("netsvc: client closed")
+
+// Tracing configures client-side trace sampling: the Sampler decides
+// which requests carry wire trace context, the Recorder receives the
+// client round-trip span, and Now supplies the span timestamps (the
+// client has no virtual clock, so the caller picks the timeline — a
+// wall-epoch offset for standalone clients, or the service clock in
+// single-process tests). Track is the client's trace lane, normally
+// obs.ClientTrack(i).
+type Tracing struct {
+	Recorder *obs.Recorder
+	Sampler  *obs.Sampler
+	Now      func() time.Duration
+	Track    int32
+}
 
 // clientSlot is one pipelined request slot. id is atomic because the
 // reader goroutine checks it to route (and drop stale) responses; ch
@@ -40,7 +55,15 @@ type Client struct {
 	closed   atomic.Bool
 	readErr  error // set before done is closed
 	closeOne sync.Once
+
+	trace Tracing
 }
+
+// EnableTracing installs client-side trace sampling. Call it once,
+// before the first request — it is not synchronized against in-flight
+// Do calls. With a nil Sampler (the default) the client passes any
+// caller-set trace context through unchanged.
+func (c *Client) EnableTracing(t Tracing) { c.trace = t }
 
 // Dial connects to a netsvc server with the given pipeline depth
 // (minimum 1).
@@ -110,6 +133,18 @@ func (c *Client) DoOnce(q *proto.Request) (proto.Response, error) {
 	id := gen<<32 | uint64(slot)
 	s.id.Store(id)
 	q.ID = id
+	var tid uint64
+	var tstart time.Duration
+	if c.trace.Sampler != nil {
+		q.Traced, q.TraceID = false, 0
+		if tid2, ok := c.trace.Sampler.Sample(); ok {
+			q.Traced, q.TraceID = true, tid2
+			tid = tid2
+			if c.trace.Now != nil {
+				tstart = c.trace.Now()
+			}
+		}
+	}
 	var err error
 	s.buf, err = proto.AppendRequest(s.buf[:0], q)
 	if err != nil {
@@ -126,6 +161,7 @@ func (c *Client) DoOnce(q *proto.Request) (proto.Response, error) {
 	select {
 	case p := <-s.ch:
 		c.free <- slot
+		c.finishTrace(tid, tstart, q.Kind)
 		return p, nil
 	case <-c.done:
 		// done is closed only after the read loop has exited, so any
@@ -135,6 +171,7 @@ func (c *Client) DoOnce(q *proto.Request) (proto.Response, error) {
 		select {
 		case p := <-s.ch:
 			c.free <- slot
+			c.finishTrace(tid, tstart, q.Kind)
 			return p, nil
 		default:
 		}
@@ -144,6 +181,21 @@ func (c *Client) DoOnce(q *proto.Request) (proto.Response, error) {
 		c.free <- slot
 		return proto.Response{}, c.closeErr()
 	}
+}
+
+// finishTrace records the client round-trip span of a sampled request
+// once its response has arrived. A zero tid (untraced — the common
+// case) returns immediately.
+func (c *Client) finishTrace(tid uint64, tstart time.Duration, kind proto.Kind) {
+	if tid == 0 || !c.trace.Recorder.Enabled() {
+		return
+	}
+	end := tstart
+	if c.trace.Now != nil {
+		end = c.trace.Now()
+	}
+	c.trace.Recorder.SpanFlow(obs.CatNet, obs.NameClientRequest, c.trace.Track,
+		tstart, end-tstart, int64(kind), tid)
 }
 
 // Do sends one request and waits for a terminal response, resending

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memsnap/internal/obs"
 	"memsnap/internal/proto"
 	"memsnap/internal/shard"
 )
@@ -26,6 +27,12 @@ type slotInfo struct {
 	id    uint64
 	kind  proto.Kind
 	start time.Duration // wall time the request was decoded
+	// Trace context of a sampled request: its wire trace id, the
+	// virtual time the frame was decoded, and the frame size. Zero
+	// traceID (the common case) records no span.
+	traceID uint64
+	vstart  time.Duration
+	wire    uint32
 }
 
 // conn is one client connection: a reader goroutine that decodes
@@ -140,7 +147,17 @@ func (c *conn) readLoop() {
 			return
 		}
 		c.srv.st.requests.Add(1)
-		c.slot[s] = slotInfo{id: q.ID, kind: q.Kind, start: wallNow()}
+		si := slotInfo{id: q.ID, kind: q.Kind, start: wallNow()}
+		if q.TraceID != 0 && c.srv.cfg.Recorder.Enabled() {
+			// Sampled request: stamp the net-lane span start with the
+			// service's virtual clock (the one cross-goroutine clock
+			// access the ownership rule permits) so the span lands on
+			// the same timeline as the shard lanes it flows into.
+			si.traceID = q.TraceID
+			si.vstart = c.srv.svc.EndTime()
+			si.wire = uint32(4 + len(payload))
+		}
+		c.slot[s] = si
 		c.inflight.Add(1)
 		c.srv.st.inFlight.Add(1)
 
@@ -149,11 +166,13 @@ func (c *conn) readLoop() {
 			continue
 		}
 		op := shard.Op{
-			Kind:   opKind(q.Kind),
-			Tenant: c.intern(q.Tenant),
-			Key:    c.intern(q.Key),
-			Key2:   c.intern(q.Key2),
-			Value:  q.Value,
+			Kind:      opKind(q.Kind),
+			Tenant:    c.intern(q.Tenant),
+			Key:       c.intern(q.Key),
+			Key2:      c.intern(q.Key2),
+			Value:     q.Value,
+			TraceID:   q.TraceID,
+			WireBytes: uint32(4 + len(payload)),
 		}
 		// Non-blocking admission: a full shard queue becomes a
 		// RETRY_AFTER on the wire instead of a stalled read loop.
@@ -225,6 +244,11 @@ func (c *conn) complete(r shard.Response, bw *bufio.Writer, buf []byte, broken *
 		c.srv.st.retryAfter.Add(1)
 	}
 	c.srv.opLatency.Record(wallNow() - si.start)
+	if si.traceID != 0 {
+		vnow := c.srv.svc.EndTime()
+		c.srv.cfg.Recorder.SpanFlow(obs.CatNet, obs.NameNetRequest, obs.NetTrack(0),
+			si.vstart, vnow-si.vstart, int64(si.wire), si.traceID)
+	}
 	c.idsMu.Lock()
 	delete(c.ids, si.id)
 	c.idsMu.Unlock()

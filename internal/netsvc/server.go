@@ -41,6 +41,13 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxFrame bounds one request frame (default proto.MaxFrame).
 	MaxFrame int
+	// Recorder, when set, records a net-lane span (obs.CatNet /
+	// obs.NameNetRequest) for every request that arrives carrying wire
+	// trace context, stamped with the shard service's virtual clock so
+	// the span shares a timeline with the shard/replica lanes. Untraced
+	// requests — the overwhelming majority under sampling — record
+	// nothing and touch no clock.
+	Recorder *obs.Recorder
 }
 
 func (c *Config) fill() {

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Flight recorder: the black-box post-mortem path. A Bundle snapshots
+// everything a crash investigation wants from a live process — the
+// recorder ring (via Peek, so the flight read does not consume the
+// /tracez drain), recorder accounting, the varz state snapshot
+// (shard/replica stats with their histogram snapshots ride in here),
+// and the Prometheus text exposition — into one self-contained JSON
+// document. Producers call it on demand: chaos.RunCell writes one per
+// failing cell, msnap-serve writes one on SIGTERM and on panic.
+//
+// Bundle building is deliberately cold-path code: it allocates,
+// marshals and formats freely. Nothing here runs unless something
+// already went wrong (or a human asked).
+
+// Bundle describes one flight-recorder snapshot to write.
+type Bundle struct {
+	// Reason says why the bundle exists ("chaos cell failed: ...",
+	// "SIGTERM", "panic: ...").
+	Reason string
+	// VirtualNow is the simulation's current virtual time.
+	VirtualNow time.Duration
+	// Vars is the varz-style state snapshot (marshaled as-is).
+	Vars any
+	// Metrics writes the Prometheus text exposition (optional).
+	Metrics func(io.Writer) error
+	// Recorder is the ring to snapshot (optional; Peek, not Drain).
+	Recorder *Recorder
+}
+
+// bundleDoc is the serialized shape; field order is the output order.
+type bundleDoc struct {
+	Reason            string          `json:"reason"`
+	VirtualNowSeconds float64         `json:"virtual_now_seconds"`
+	RecorderStats     RecorderStats   `json:"recorder"`
+	Vars              any             `json:"varz,omitempty"`
+	Metrics           string          `json:"metrics,omitempty"`
+	Trace             json.RawMessage `json:"trace"`
+}
+
+// WriteBundle writes the bundle as indented JSON.
+func WriteBundle(w io.Writer, b Bundle) error {
+	doc := bundleDoc{
+		Reason:            b.Reason,
+		VirtualNowSeconds: b.VirtualNow.Seconds(),
+		RecorderStats:     b.Recorder.Stats(),
+		Vars:              b.Vars,
+	}
+	if b.Metrics != nil {
+		var mbuf bytes.Buffer
+		if err := b.Metrics(&mbuf); err != nil {
+			return fmt.Errorf("flight bundle metrics: %w", err)
+		}
+		doc.Metrics = mbuf.String()
+	}
+	var tbuf bytes.Buffer
+	if err := WriteTrace(&tbuf, b.Recorder.Peek()); err != nil {
+		return fmt.Errorf("flight bundle trace: %w", err)
+	}
+	doc.Trace = tbuf.Bytes()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteBundleFile writes the bundle to path (0644, truncating).
+func WriteBundleFile(path string, b Bundle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBundle(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Edge cases of the latency histogram pinned separately from the happy
+// path: empty snapshots, degenerate single-bucket distributions, the
+// overflow bucket's quantile behavior, and concurrent record/merge.
+
+func TestHistogramEmptySnapshotQuantiles(t *testing.T) {
+	var s HistSnapshot
+	for _, q := range []float64{0.0001, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.P50() != 0 || s.P99() != 0 || s.P999() != 0 {
+		t.Errorf("empty quantile helpers = %v/%v/%v, want zeros", s.P50(), s.P99(), s.P999())
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", s.Mean())
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	var h Histogram
+	const sample = 700 * time.Nanosecond // bucket (512, 1024]ns
+	for i := 0; i < 1000; i++ {
+		h.Record(sample)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count)
+	}
+	// Every quantile must land on the one populated bucket's upper
+	// bound — no quantile may wander into a neighboring bucket.
+	want := BucketUpper(bucketOf(sample))
+	for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("single-bucket Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if s.Mean() != sample {
+		t.Errorf("Mean = %v, want exact %v", s.Mean(), sample)
+	}
+	if s.Max != sample {
+		t.Errorf("Max = %v, want %v", s.Max, sample)
+	}
+}
+
+func TestHistogramOverflowBucketP999(t *testing.T) {
+	var h Histogram
+	// One fast sample, the tail deep in the overflow bucket: p999's
+	// nearest rank lands in overflow, which must report the true
+	// recorded maximum rather than a fake finite bucket bound.
+	h.Record(time.Microsecond)
+	worst := 9 * time.Hour
+	for i := 0; i < 999; i++ {
+		h.Record(worst - time.Duration(i)*time.Minute)
+	}
+	s := h.Snapshot()
+	if got := s.P999(); got != worst {
+		t.Errorf("overflow P999 = %v, want recorded max %v", got, worst)
+	}
+	if got := s.Quantile(1); got != worst {
+		t.Errorf("overflow Quantile(1) = %v, want %v", got, worst)
+	}
+	// p50 still resolves to a finite bucket... unless the majority is
+	// overflow, which it is here — it must also report Max, never a
+	// bound beyond the last finite bucket.
+	if got := s.P50(); got != worst {
+		t.Errorf("overflow-majority P50 = %v, want %v", got, worst)
+	}
+}
+
+// TestHistogramConcurrentRecordMerge exercises lock-free recording
+// from many goroutines plus per-worker snapshot merging, the
+// service-wide aggregation pattern — meaningful under -race.
+func TestHistogramConcurrentRecordMerge(t *testing.T) {
+	const workers, perWorker = 8, 2000
+	shared := &Histogram{}
+	locals := make([]Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				d := time.Duration(w*perWorker+i+1) * time.Microsecond
+				shared.Record(d)
+				locals[w].Record(d)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var merged HistSnapshot
+	for w := range locals {
+		merged.Merge(locals[w].Snapshot())
+	}
+	got := shared.Snapshot()
+	if merged.Count != got.Count || merged.Count != workers*perWorker {
+		t.Fatalf("counts: merged %d, shared %d, want %d", merged.Count, got.Count, workers*perWorker)
+	}
+	if merged.Sum != got.Sum {
+		t.Errorf("sums: merged %v != shared %v", merged.Sum, got.Sum)
+	}
+	if merged.Max != got.Max {
+		t.Errorf("max: merged %v != shared %v", merged.Max, got.Max)
+	}
+	if merged.Counts != got.Counts {
+		t.Errorf("bucket counts diverge between merged locals and the shared histogram")
+	}
+}

@@ -35,10 +35,13 @@ const (
 	CatShard
 	// CatReplica: ship/retry/apply/snapshot spans from internal/replica.
 	CatReplica
+	// CatNet: wire-edge request spans from internal/netsvc (server conn
+	// handling and client round trips of sampled requests).
+	CatNet
 	catCount
 )
 
-var catNames = [catCount]string{"vm", "persist", "shard", "replica"}
+var catNames = [catCount]string{"vm", "persist", "shard", "replica", "net"}
 
 // String returns the category's trace label.
 func (c Cat) String() string {
@@ -88,6 +91,12 @@ const (
 	// NameEncode: sub-page delta encoding of one shipped commit
 	// (arg: encoded wire bytes).
 	NameEncode
+	// NameNetRequest: server-side decode-to-complete span of one sampled
+	// wire request (arg: frame bytes).
+	NameNetRequest
+	// NameClientRequest: client-side submit-to-response round trip of
+	// one sampled request (arg: wire op kind).
+	NameClientRequest
 	nameCount
 )
 
@@ -97,6 +106,7 @@ var nameStrings = [nameCount]string{
 	"queue_wait", "group_commit",
 	"ship", "ship_batch", "retry", "snapshot", "apply", "apply_batch",
 	"encode",
+	"net_request", "client_request",
 }
 
 // String returns the name's trace label.
@@ -127,6 +137,8 @@ const (
 const (
 	shipTrackBase     = 2000
 	followerTrackBase = 3000
+	netTrackBase      = 4000
+	clientTrackBase   = 5000
 )
 
 // ShardTrack returns the trace lane of a shard worker.
@@ -138,10 +150,20 @@ func ShipTrack(shard int) int32 { return int32(shipTrackBase + shard) }
 // FollowerTrack returns the trace lane of a follower shard.
 func FollowerTrack(shard int) int32 { return int32(followerTrackBase + shard) }
 
+// NetTrack returns the trace lane of the network server's wire edge.
+func NetTrack(i int) int32 { return int32(netTrackBase + i) }
+
+// ClientTrack returns the trace lane of a tracing client.
+func ClientTrack(i int) int32 { return int32(clientTrackBase + i) }
+
 // TrackName renders a track id as the human lane label exported in
 // trace thread-name metadata.
 func TrackName(track int32) (string, int32) {
 	switch {
+	case track >= clientTrackBase:
+		return "client", track - clientTrackBase
+	case track >= netTrackBase:
+		return "netsvc", track - netTrackBase
 	case track >= followerTrackBase:
 		return "follower", track - followerTrackBase
 	case track >= shipTrackBase:
@@ -166,6 +188,11 @@ type Event struct {
 	// Arg is the event's one numeric payload (pages, sequence number,
 	// batch size, counter value — see the Name doc comments).
 	Arg int64
+	// Flow is the trace id binding this span into a cross-lane request
+	// flow (0: not part of a flow). WriteTrace stitches all spans
+	// sharing a Flow with Chrome flow events, so one sampled request
+	// reads as a single arrow-connected path across lanes.
+	Flow uint64
 }
 
 // RecorderStats snapshots a recorder's accounting counters.
@@ -246,6 +273,20 @@ func (r *Recorder) Span(cat Cat, name Name, track int32, start, dur time.Duratio
 	r.record(Event{Kind: KindSpan, Cat: cat, Name: name, Track: track, Start: start, Dur: dur, Arg: arg})
 }
 
+// SpanFlow records a complete span bound into the cross-lane request
+// flow identified by flow (a sampled request's trace id; 0 records a
+// plain span). The record path is identical to Span — one mutex, one
+// value copy, no allocation — so trace propagation stays safe on the
+// hot paths.
+//
+//memsnap:hotpath
+func (r *Recorder) SpanFlow(cat Cat, name Name, track int32, start, dur time.Duration, arg int64, flow uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{Kind: KindSpan, Cat: cat, Name: name, Track: track, Start: start, Dur: dur, Arg: arg, Flow: flow})
+}
+
 // Instant records a point event.
 func (r *Recorder) Instant(cat Cat, name Name, track int32, at time.Duration, arg int64) {
 	if r == nil {
@@ -317,6 +358,32 @@ func (r *Recorder) Drain() []Event {
 	}
 	r.next = 0
 	r.size = 0
+	return out
+}
+
+// Peek returns a copy of the ring's events oldest-first without
+// resetting it — the flight-recorder read: a post-mortem bundle can
+// snapshot the recent past while /tracez draining keeps working for
+// the living. Cold path; allocates the returned slice.
+func (r *Recorder) Peek() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.size)
+	if r.size == len(r.ring) && r.next != 0 {
+		n := copy(out, r.ring[r.next:])
+		copy(out[n:], r.ring[:r.next])
+	} else {
+		start := r.next - r.size
+		if start < 0 {
+			start += len(r.ring)
+		}
+		for i := 0; i < r.size; i++ {
+			out[i] = r.ring[(start+i)%len(r.ring)]
+		}
+	}
 	return out
 }
 

@@ -24,6 +24,12 @@ type ServerSources struct {
 	Vars func() any
 	// Trace drains the event ring for /tracez.
 	Trace func() []Event
+	// Health reports readiness for /healthz: ready yields 200, a
+	// draining/unready process yields 503, each with detail as the
+	// body. A nil Health means /healthz always answers 200 "ok".
+	Health func() (ready bool, detail string)
+	// TopK returns the per-tenant attribution entries for /topz.
+	TopK func() []TenantStat
 	// Clock, when set, bridges virtual time at the boundary: /varz
 	// responses carry the current virtual time alongside the
 	// caller-supplied vars. Reads go through the clock's atomic Now —
@@ -39,6 +45,8 @@ type ServerSources struct {
 //	GET /metricz  Prometheus text exposition (ServerSources.Metrics)
 //	GET /varz     expvar-style JSON state (ServerSources.Vars)
 //	GET /tracez   Chrome trace-event JSON drained from the ring
+//	GET /healthz  readiness probe: 200 ready / 503 draining
+//	GET /topz     per-tenant top-K attribution as JSON
 //
 // Inside the simulation all timestamps are virtual; the server is the
 // boundary where a wall-clock world (a scraper, a browser) observes
@@ -179,8 +187,33 @@ func (s *Server) handle(c net.Conn, vnow time.Duration) {
 			return
 		}
 		writeResponse(c, 200, "application/json", body.Bytes())
+	case "/healthz":
+		ready, detail := true, "ok"
+		if s.src.Health != nil {
+			ready, detail = s.src.Health()
+		}
+		code := 200
+		if !ready {
+			code = 503
+		}
+		writeResponse(c, code, "text/plain; charset=utf-8", []byte(detail+"\n"))
+	case "/topz":
+		var top []TenantStat
+		if s.src.TopK != nil {
+			top = s.src.TopK()
+		}
+		wrapped := struct {
+			VirtualSeconds float64      `json:"virtual_now_seconds"`
+			Tenants        []TenantStat `json:"tenants"`
+		}{vnow.Seconds(), top}
+		data, err := json.MarshalIndent(wrapped, "", "  ")
+		if err != nil {
+			writeError(c, err)
+			return
+		}
+		writeResponse(c, 200, "application/json", append(data, '\n'))
 	default:
-		writeResponse(c, 404, "text/plain; charset=utf-8", []byte("not found (try /metricz, /varz, /tracez)\n"))
+		writeResponse(c, 404, "text/plain; charset=utf-8", []byte("not found (try /metricz, /varz, /tracez, /healthz, /topz)\n"))
 	}
 }
 
@@ -212,7 +245,7 @@ func readRequestPath(c net.Conn) (string, bool) {
 	return path, true
 }
 
-var statusText = map[int]string{200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
+var statusText = map[int]string{200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error", 503: "Service Unavailable"}
 
 func writeResponse(c net.Conn, code int, contentType string, body []byte) {
 	fmt.Fprintf(c, "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",

@@ -26,6 +26,10 @@ func FuzzFrameDecode(f *testing.F) {
 		{ID: 2, Kind: KindGet, Tenant: []byte("t"), Key: []byte("k")},
 		{ID: 3, Kind: KindPut, Tenant: []byte("tenant"), Key: []byte("key"), Value: 77},
 		{ID: 4, Kind: KindTransfer, Tenant: []byte("t"), Key: []byte("a"), Key2: []byte("b"), Value: 5},
+		// Trace-context frames: the kind byte's trace flag plus the
+		// trailing 8-byte trace id.
+		{ID: 5, Kind: KindPut, Tenant: []byte("t"), Key: []byte("k"), Value: 9, Traced: true, TraceID: 0xdeadbeefcafef00d},
+		{ID: 6, Kind: KindGet, Tenant: []byte("t"), Key: []byte("k"), Traced: true},
 	} {
 		frame, err := AppendRequest(nil, &q)
 		if err != nil {
@@ -43,6 +47,12 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{0x00, 0x00, 0x00, 0x00})                   // zero prefix
 	f.Add([]byte{0x00, 0x00, 0x00, 0x05, 0x01, 0x63})       // truncated payload
 	f.Add([]byte{0x01, 0xee, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // unknown opcode
+	// Traced flag set but trace id missing: must fail as truncated.
+	trunc, err := AppendRequest(nil, &Request{ID: 7, Kind: KindGet, Tenant: []byte("t"), Key: []byte("k"), Traced: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(trunc[4 : len(trunc)-traceIDLen])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Payload-level decoders on the raw input.

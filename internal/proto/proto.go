@@ -65,6 +65,18 @@ const (
 
 var kindNames = [kindCount]string{"ping", "get", "put", "add", "delete", "transfer"}
 
+// kindTraceFlag is the trace-context bit of the request kind byte.
+// When set, an 8-byte big-endian trace id follows the strings at the
+// end of the payload; the low 7 bits still carry the Kind. Old
+// decoders never saw the bit set (kinds are tiny), and this decoder
+// still rejects any kind whose low bits are unknown, so the flag is a
+// backward- and forward-compatible extension of the frame: the fuzz
+// corpus's untraced frames decode byte-identically.
+const kindTraceFlag = 0x80
+
+// traceIDLen is the wire size of the optional trailing trace id.
+const traceIDLen = 8
+
 // String returns the kind's wire name.
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -135,6 +147,13 @@ type Request struct {
 	Key    []byte
 	Key2   []byte // transfer destination
 	Value  uint64 // put value / add delta / transfer amount
+	// Traced marks a sampled request carrying distributed trace
+	// context: the frame's kind byte has the trace flag set and TraceID
+	// rides at the end of the payload. Untraced requests pay zero extra
+	// wire bytes. (Traced with TraceID 0 is representable on the wire
+	// but receivers treat id 0 as "untraced".)
+	Traced  bool
+	TraceID uint64
 }
 
 // Response is one decoded server response.
@@ -184,9 +203,14 @@ func AppendRequest(dst []byte, q *Request) ([]byte, error) {
 	if q.Kind >= kindCount {
 		return dst, ErrUnknownKind
 	}
+	kindByte := byte(q.Kind)
 	n := reqFixedLen + len(q.Tenant) + len(q.Key) + len(q.Key2)
+	if q.Traced {
+		kindByte |= kindTraceFlag
+		n += traceIDLen
+	}
 	dst = appendU32(dst, uint32(n))
-	dst = append(dst, frameRequest, byte(q.Kind))
+	dst = append(dst, frameRequest, kindByte)
 	dst = appendU64(dst, q.ID)
 	dst = appendU16(dst, uint16(len(q.Tenant)))
 	dst = appendU16(dst, uint16(len(q.Key)))
@@ -195,6 +219,9 @@ func AppendRequest(dst []byte, q *Request) ([]byte, error) {
 	dst = append(dst, q.Tenant...)
 	dst = append(dst, q.Key...)
 	dst = append(dst, q.Key2...)
+	if q.Traced {
+		dst = appendU64(dst, q.TraceID)
+	}
 	return dst, nil
 }
 
@@ -232,7 +259,8 @@ func DecodeRequest(payload []byte, q *Request) error {
 	if payload[0] != frameRequest {
 		return ErrUnknownFrame
 	}
-	kind := Kind(payload[1])
+	traced := payload[1]&kindTraceFlag != 0
+	kind := Kind(payload[1] &^ kindTraceFlag)
 	if kind >= kindCount {
 		return ErrUnknownKind
 	}
@@ -245,6 +273,9 @@ func DecodeRequest(payload []byte, q *Request) error {
 		return ErrStringTooLong
 	}
 	want := reqFixedLen + tlen + klen + k2len
+	if traced {
+		want += traceIDLen
+	}
 	if len(payload) < want {
 		return ErrTruncated
 	}
@@ -258,6 +289,11 @@ func DecodeRequest(payload []byte, q *Request) error {
 	q.Key = rest[tlen : tlen+klen : tlen+klen]
 	q.Key2 = rest[tlen+klen : tlen+klen+k2len : tlen+klen+k2len]
 	q.Value = value
+	q.Traced = traced
+	q.TraceID = 0
+	if traced {
+		q.TraceID = binary.BigEndian.Uint64(payload[want-traceIDLen:])
+	}
 	return nil
 }
 

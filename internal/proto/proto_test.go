@@ -35,6 +35,53 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 }
 
+// Trace context: the kind byte's high bit plus a trailing 8-byte
+// trace id, costing exactly traceIDLen extra wire bytes and nothing
+// on untraced frames.
+func TestRequestTraceContext(t *testing.T) {
+	plain, err := AppendRequest(nil, &Request{ID: 7, Kind: KindPut, Tenant: []byte("t"), Key: []byte("k"), Value: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Request{ID: 7, Kind: KindPut, Tenant: []byte("t"), Key: []byte("k"), Value: 3, Traced: true, TraceID: 0x0123456789abcdef}
+	traced, err := AppendRequest(nil, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain)+traceIDLen {
+		t.Fatalf("traced frame is %d bytes, want %d (+%d)", len(traced), len(plain)+traceIDLen, traceIDLen)
+	}
+	if traced[5]&kindTraceFlag == 0 {
+		t.Fatal("kind byte trace flag not set")
+	}
+	var got Request
+	if err := DecodeRequest(traced[4:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Traced || got.TraceID != want.TraceID || got.Kind != KindPut {
+		t.Fatalf("decode = %+v, want traced id %x kind put", got, want.TraceID)
+	}
+	// Decoding an untraced frame must clear any stale trace context in
+	// the reused Request value.
+	if err := DecodeRequest(plain[4:], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Traced || got.TraceID != 0 {
+		t.Fatalf("untraced decode left stale trace context: %+v", got)
+	}
+	// A traced frame missing its id is truncated, never misparsed.
+	var q Request
+	if err := DecodeRequest(traced[4:len(traced)-traceIDLen], &q); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+	// The unknown-kind check still applies under the flag.
+	bad := append([]byte(nil), traced[4:]...)
+	bad[1] = kindTraceFlag | byte(kindCount)
+	if err := DecodeRequest(bad, &q); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("got %v, want ErrUnknownKind", err)
+	}
+}
+
 func TestResponseRoundTrip(t *testing.T) {
 	cases := []Response{
 		{ID: 1, Status: StatusOK},

@@ -351,7 +351,7 @@ func (f *Follower) Apply(at time.Duration, d *Delta) (time.Duration, ApplyStatus
 	fs.lastSeq = d.Seq
 	fs.applied++
 	now := clk.Now()
-	f.cfg.Recorder.Span(obs.CatReplica, obs.NameApply, obs.FollowerTrack(d.Shard), applyStart, now-applyStart, int64(d.Seq))
+	f.cfg.Recorder.SpanFlow(obs.CatReplica, obs.NameApply, obs.FollowerTrack(d.Shard), applyStart, now-applyStart, int64(d.Seq), d.TraceID)
 	return now, ApplyStatus{Code: ApplyOK, LastSeq: fs.lastSeq}
 }
 
@@ -459,7 +459,14 @@ func (f *Follower) ApplyBatch(at time.Duration, ds []*Delta) (time.Duration, App
 	fs.applied += int64(len(ds) - skip)
 	fs.batches++
 	now := clk.Now()
-	f.cfg.Recorder.Span(obs.CatReplica, obs.NameApplyBatch, obs.FollowerTrack(ds[0].Shard), applyStart, now-applyStart, int64(len(ds)-skip))
+	var flow uint64
+	for _, fd := range ds {
+		if fd.TraceID != 0 {
+			flow = fd.TraceID
+			break
+		}
+	}
+	f.cfg.Recorder.SpanFlow(obs.CatReplica, obs.NameApplyBatch, obs.FollowerTrack(ds[0].Shard), applyStart, now-applyStart, int64(len(ds)-skip), flow)
 	return now, ApplyStatus{Code: ApplyOK, LastSeq: fs.lastSeq}
 }
 

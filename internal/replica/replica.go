@@ -61,6 +61,9 @@ type Delta struct {
 	Era   uint64
 	Epoch objstore.Epoch
 	Pages []core.CommittedPage
+	// TraceID carries the originating batch's distributed trace id
+	// (0: untraced) onto the follower's apply spans.
+	TraceID uint64
 
 	// enc is the delta's sub-page wire encoding (see codec.go),
 	// produced exactly once by ShipCommit and cached for the delta's

@@ -268,13 +268,13 @@ func (s *Shipper) follower() *Follower {
 //memsnap:owns
 func (s *Shipper) ShipCommit(shardID int, at time.Duration, c shard.Commit, snap func() shard.Snapshot) (time.Duration, error) {
 	ss := s.shards[shardID]
-	d := &Delta{Shard: shardID, Seq: c.Seq, Era: c.Era, Epoch: c.Epoch, Pages: c.Pages, pooled: c.Owned}
+	d := &Delta{Shard: shardID, Seq: c.Seq, Era: c.Era, Epoch: c.Epoch, Pages: c.Pages, pooled: c.Owned, TraceID: c.TraceID}
 	// Encode once, before the delta enters the pipeline: the cached
 	// encoding fixes WireSize for the delta's whole life and consumes
 	// the capture-time pre-images, so the retained window holds only
 	// page data plus encoded bytes.
 	if res := d.encode(s.link.costs, s.cfg.FullPages); res.wire > 0 {
-		s.cfg.Recorder.Span(obs.CatReplica, obs.NameEncode, obs.ShipTrack(shardID), at, res.cost, int64(res.wire))
+		s.cfg.Recorder.SpanFlow(obs.CatReplica, obs.NameEncode, obs.ShipTrack(shardID), at, res.cost, int64(res.wire), d.TraceID)
 		at += res.cost
 		ss.mu.Lock()
 		ss.st.DiffSavedBytes += int64(res.saved)
@@ -465,7 +465,14 @@ func (s *Shipper) deliverBatch(ss *shipShard, at time.Duration, batch []shipJob)
 			ss.mu.Unlock()
 			ss.ackLat.Record(ackAt - at)
 			ss.ackHist.Record(ackAt - at)
-			s.cfg.Recorder.Span(obs.CatReplica, obs.NameShipBatch, obs.ShipTrack(ss.id), at, ackAt-at, int64(len(deltas)))
+			var flow uint64
+			for _, fd := range deltas {
+				if fd.TraceID != 0 {
+					flow = fd.TraceID
+					break
+				}
+			}
+			s.cfg.Recorder.SpanFlow(obs.CatReplica, obs.NameShipBatch, obs.ShipTrack(ss.id), at, ackAt-at, int64(len(deltas)), flow)
 			return ackAt
 		default:
 			// Stale, gap, partial duplicate: re-run the members through
@@ -549,7 +556,7 @@ func (s *Shipper) deliver(ss *shipShard, at time.Duration, d *Delta, snapFn func
 			ss.mu.Unlock()
 			ss.ackLat.Record(ackAt - at)
 			ss.ackHist.Record(ackAt - at)
-			s.cfg.Recorder.Span(obs.CatReplica, obs.NameShip, obs.ShipTrack(ss.id), at, ackAt-at, int64(d.Seq))
+			s.cfg.Recorder.SpanFlow(obs.CatReplica, obs.NameShip, obs.ShipTrack(ss.id), at, ackAt-at, int64(d.Seq), d.TraceID)
 			return ackAt, nil
 		case ApplyStale:
 			ss.mu.Lock()

@@ -24,6 +24,9 @@ type Commit struct {
 	// once the commit is fully shipped. Commits built from plain
 	// slices leave it unset.
 	Owned bool
+	// TraceID carries the distributed trace id of the batch's sampled
+	// request (0: untraced) onto replication ship/apply spans.
+	TraceID uint64
 }
 
 // Snapshot is a full copy of one shard region at a replication

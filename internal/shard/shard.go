@@ -88,6 +88,17 @@ type Op struct {
 	Key    string
 	Key2   string // OpTransfer destination
 	Value  uint64 // OpPut value / OpAdd delta / OpTransfer amount
+	// TraceID is the distributed trace id of a sampled request (0:
+	// untraced, the overwhelmingly common case). Workers stamp it onto
+	// their queue-wait/group-commit spans and the outgoing Commit, so
+	// one sampled request stitches across client, wire, shard and
+	// replication lanes. Propagation is a plain integer copy — the
+	// untraced hot path stays allocation-free.
+	TraceID uint64
+	// WireBytes is the request's frame size on the wire (0 for
+	// in-process callers); the per-tenant attribution sketch charges it
+	// to Tenant when the op completes.
+	WireBytes uint32
 }
 
 // Response is the outcome of one Op.
@@ -149,6 +160,11 @@ type Config struct {
 	// the shard's trace lane (obs.ShardTrack). Drain it through
 	// obs.WriteTrace or the obs server's /tracez.
 	Recorder *obs.Recorder
+	// Tenants, when set, receives per-tenant attribution (ops, wire
+	// bytes, commit latency) on every completed request carrying a
+	// tenant — the space-saving top-K sketch behind /topz and the
+	// memsnap_tenant_* Prometheus series.
+	Tenants *obs.TenantSketch
 }
 
 func (c *Config) fill() {

@@ -70,6 +70,7 @@ type pendingBatch struct {
 	start  time.Duration // virtual time the batch began applying
 	submit time.Duration // virtual time the uCheckpoint IO was initiated
 	commit *Commit       // captured delta, when a Replicator is attached
+	flow   uint64        // trace id of the batch's first sampled request
 }
 
 // run is the shard worker loop. One batch of IO may be in flight at a
@@ -157,10 +158,21 @@ func (sh *shard) gather(first *request) []*request {
 //memsnap:owns
 func (sh *shard) apply(batch []*request) *pendingBatch {
 	start := sh.ctx.Clock().Now()
+	// The batch's flow id: the first sampled request's trace id, carried
+	// onto the batch spans and the outgoing Commit. Sampling is sparse,
+	// so batches almost never hold two sampled requests; when one does,
+	// the first wins (the others still stitch client↔net lanes).
+	var flow uint64
+	for _, r := range batch {
+		if r.op.TraceID != 0 {
+			flow = r.op.TraceID
+			break
+		}
+	}
 	// One queue-wait span per batch: enqueue of the oldest request to
 	// apply start (the worker clock is monotone past every stamp).
-	sh.svc.cfg.Recorder.Span(obs.CatShard, obs.NameQueueWait, obs.ShardTrack(sh.id),
-		batch[0].at, start-batch[0].at, int64(len(batch)))
+	sh.svc.cfg.Recorder.SpanFlow(obs.CatShard, obs.NameQueueWait, obs.ShardTrack(sh.id),
+		batch[0].at, start-batch[0].at, int64(len(batch)), flow)
 	var writes []*request
 	var reads, writeOps int64
 	for _, r := range batch {
@@ -171,6 +183,7 @@ func (sh *shard) apply(batch []*request) *pendingBatch {
 			writeOps++
 		} else {
 			resp.Tag = r.tag
+			sh.svc.cfg.Tenants.Observe(r.op.Tenant, r.op.WireBytes, start-r.at)
 			r.resp <- resp
 			putRequest(r)
 			reads++
@@ -227,10 +240,10 @@ func (sh *shard) apply(batch []*request) *pendingBatch {
 			for i := range caps {
 				pages = caps[i].MovePages(pages)
 			}
-			commit = &Commit{Seq: sh.tab.man.commits, Era: sh.tab.man.era, Epoch: epoch, Pages: pages, Owned: true}
+			commit = &Commit{Seq: sh.tab.man.commits, Era: sh.tab.man.era, Epoch: epoch, Pages: pages, Owned: true, TraceID: flow}
 		}
 	}
-	return &pendingBatch{epoch: epoch, writes: writes, start: start, submit: submitAt, commit: commit}
+	return &pendingBatch{epoch: epoch, writes: writes, start: start, submit: submitAt, commit: commit, flow: flow}
 }
 
 // applyOne executes a single op. isWrite reports that the op dirtied
@@ -324,8 +337,8 @@ func (sh *shard) retire(b *pendingBatch) {
 	now := sh.ctx.Clock().Now()
 	sh.commitHist.Record(now - b.start)
 	sh.persistHist.Record(durable - b.submit)
-	sh.svc.cfg.Recorder.Span(obs.CatShard, obs.NameGroupCommit, obs.ShardTrack(sh.id),
-		b.start, now-b.start, int64(len(b.writes)))
+	sh.svc.cfg.Recorder.SpanFlow(obs.CatShard, obs.NameGroupCommit, obs.ShardTrack(sh.id),
+		b.start, now-b.start, int64(len(b.writes)), b.flow)
 	sh.statsMu.Lock()
 	sh.lastDur = durable
 	sh.commitLat.Record(now - b.start)
@@ -336,6 +349,7 @@ func (sh *shard) retire(b *pendingBatch) {
 		if shipErr != nil {
 			r.ack.Err = shipErr
 		}
+		sh.svc.cfg.Tenants.Observe(r.op.Tenant, r.op.WireBytes, now-r.at)
 		r.resp <- r.ack
 		putRequest(r)
 	}
